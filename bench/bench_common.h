@@ -1,0 +1,71 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every bench binary is standalone: it generates its scenario
+// deterministically, runs the measurement, and prints the rows/series the
+// corresponding figure or table of the paper reports, followed by a
+// "paper vs measured" recap (EXPERIMENTS.md records these side by side).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "miner/pipeline.h"
+#include "ml/lad_tree.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace dnsnoise::bench {
+
+/// Default scaled-ISP volume used by the share-calibrated experiments.
+inline ScenarioScale default_scale(std::uint64_t queries_per_day = 400'000) {
+  ScenarioScale scale;
+  scale.queries_per_day = queries_per_day;
+  scale.client_count = queries_per_day / 20;
+  return scale;
+}
+
+inline PipelineOptions default_options(
+    std::uint64_t queries_per_day = 400'000) {
+  PipelineOptions options;
+  options.scale = default_scale(queries_per_day);
+  return options;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void print_claim(const std::string& paper, const std::string& measured) {
+  std::printf("  paper:    %s\n  measured: %s\n", paper.c_str(),
+              measured.c_str());
+}
+
+/// Simulates one capture day of `date` (with warmup) and returns the
+/// cluster-wide cache stats; the capture is filled in place.
+inline DnsCacheStats capture_day(ScenarioDate date,
+                                 const PipelineOptions& options,
+                                 DayCapture& capture) {
+  Scenario scenario(date, options.scale);
+  return simulate_day(scenario, capture, options, scenario_day_index(date));
+}
+
+/// Trains the campaign's reference LAD tree the way the paper did: one
+/// model from one labeled day (we use the 11/14 scenario, nearest to the
+/// paper's 11/10 labeling date), then applied across all dates.
+inline LadTree train_reference_model(std::uint64_t queries_per_day = 400'000) {
+  PipelineOptions options = default_options(queries_per_day);
+  options.labeler.min_group_size = 10;
+  Scenario scenario(ScenarioDate::kNov14, options.scale);
+  DayCapture capture;
+  simulate_day(scenario, capture, options,
+               scenario_day_index(ScenarioDate::kNov14));
+  const Dataset data = to_dataset(
+      label_zones(capture.tree(), capture.chr(), scenario, options.labeler));
+  LadTree model;
+  model.train(data);
+  return model;
+}
+
+}  // namespace dnsnoise::bench

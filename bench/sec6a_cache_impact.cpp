@@ -1,0 +1,109 @@
+// §VI-A — DNS caching impact study.
+//
+// Paper's prediction: under a fixed-size LRU cache, one-time disposable
+// entries fill the cache and prematurely evict useful (non-disposable)
+// records, inflating resolver-to-authority traffic and latency.  This
+// ablation sweeps cache capacity with disposable traffic ON vs OFF and
+// reports premature evictions of non-disposable entries, cache hit rate,
+// and the above-traffic inflation attributable to disposable load.
+
+#include "bench_common.h"
+
+using namespace dnsnoise;
+using namespace dnsnoise::bench;
+
+namespace {
+
+struct RunResult {
+  DnsCacheStats stats;
+  std::uint64_t above = 0;
+  std::uint64_t below = 0;
+};
+
+RunResult run(std::size_t capacity, double disposable_multiplier,
+              bool low_priority = false) {
+  PipelineOptions options = default_options(250'000);
+  options.scale.disposable_traffic_multiplier = disposable_multiplier;
+  options.cluster.cache.capacity = capacity;
+  options.cluster.cache.low_priority_disposable = low_priority;
+  Scenario scenario(ScenarioDate::kDec30, options.scale);
+  DayCapture capture;
+  RunResult result;
+  result.stats = simulate_day(scenario, capture, options,
+                              scenario_day_index(ScenarioDate::kDec30));
+  result.above = capture.above_series().sum_total();
+  result.below = capture.below_series().sum_total();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Sec. VI-A", "LRU cache impact of disposable load");
+
+  TextTable table({"cache_capacity", "disposable", "hit_rate",
+                   "premature_evictions", "premature_nondisp",
+                   "above_traffic"});
+  double inflation_small_cache = 0.0;
+  std::uint64_t collateral_small = 0;
+  std::uint64_t collateral_small_off = 0;
+  for (const std::size_t capacity : {2'000UL, 8'000UL, 32'000UL, 128'000UL}) {
+    for (const double multiplier : {1.0, 0.0}) {
+      const RunResult r = run(capacity, multiplier);
+      table.add_row({with_commas(capacity), multiplier > 0 ? "on" : "off",
+                     percent(r.stats.hit_rate(), 1),
+                     with_commas(r.stats.premature_evictions),
+                     with_commas(r.stats.premature_nondisposable_evictions),
+                     with_commas(r.above)});
+      if (capacity == 2'000UL) {
+        if (multiplier > 0) {
+          inflation_small_cache = static_cast<double>(r.above);
+          collateral_small = r.stats.premature_nondisposable_evictions;
+        } else {
+          inflation_small_cache /= static_cast<double>(r.above);
+          collateral_small_off = r.stats.premature_nondisposable_evictions;
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Premature evictions of useful (non-disposable) records:\n");
+  print_claim(
+      "disposable queries cause premature cache evictions of "
+      "non-disposable domains",
+      "at capacity 2,000: " + with_commas(collateral_small) +
+          " with disposable traffic vs " + with_commas(collateral_small_off) +
+          " without");
+  std::printf("\nResolver-to-authority traffic inflation (capacity 2,000):\n");
+  print_claim("evictions inflate traffic to authoritative name servers",
+              fixed(inflation_small_cache, 2) +
+                  "x the above-traffic of the disposable-free baseline");
+  // Ablation of the paper's mitigation sketch: "disposable domains could
+  // be treated with low priority" — insert flagged entries at the cold end
+  // of the LRU.
+  std::printf("\nMitigation ablation (capacity 2,000, disposable on):\n");
+  TextTable mitigation({"policy", "hit_rate", "premature_nondisp",
+                        "above_traffic"});
+  const RunResult normal = run(2'000, 1.0, /*low_priority=*/false);
+  const RunResult cold = run(2'000, 1.0, /*low_priority=*/true);
+  mitigation.add_row({"normal LRU", percent(normal.stats.hit_rate(), 1),
+                      with_commas(
+                          normal.stats.premature_nondisposable_evictions),
+                      with_commas(normal.above)});
+  mitigation.add_row({"low-priority disposable",
+                      percent(cold.stats.hit_rate(), 1),
+                      with_commas(
+                          cold.stats.premature_nondisposable_evictions),
+                      with_commas(cold.above)});
+  std::printf("%s\n", mitigation.render().c_str());
+  print_claim(
+      "caching policies may require adjustments ... disposable domains "
+      "could be treated with low priority",
+      "cold-end insertion cuts premature evictions of useful records " +
+          std::string(cold.stats.premature_nondisposable_evictions <
+                              normal.stats.premature_nondisposable_evictions
+                          ? "(mitigation works)"
+                          : "(no effect at this scale)"));
+  return 0;
+}

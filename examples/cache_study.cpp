@@ -1,0 +1,48 @@
+// Resolver cache study: what disposable load does to a fixed-size LRU.
+//
+// Sweeps the disposable traffic multiplier at a fixed cache size and
+// prints hit rate, premature evictions of useful records, and upstream
+// traffic — the operational concern of the paper's Section VI-A, as a
+// small operator would run it against their own cache sizing.
+//
+// Run: ./build/examples/cache_study
+
+#include <cstdio>
+
+#include "miner/pipeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace dnsnoise;
+
+int main() {
+  std::printf("How much disposable-domain load can this cache absorb?\n\n");
+
+  TextTable table({"disposable_load", "hit_rate", "evictions",
+                   "premature_nondisposable", "above_traffic"});
+  for (const double multiplier : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    PipelineOptions options;
+    options.scale.queries_per_day = 200'000;
+    options.scale.client_count = 8'000;
+    options.scale.disposable_traffic_multiplier = multiplier;
+    options.cluster.cache.capacity = 1'500;  // deliberately tight
+    Scenario scenario(ScenarioDate::kDec30, options.scale);
+    DayCapture capture;
+    const DnsCacheStats stats =
+        simulate_day(scenario, capture, options,
+                     scenario_day_index(ScenarioDate::kDec30));
+    table.add_row({fixed(multiplier, 1) + "x", percent(stats.hit_rate(), 1),
+                   with_commas(stats.evictions),
+                   with_commas(stats.premature_nondisposable_evictions),
+                   with_commas(capture.above_series().sum_total())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading: as disposable load grows, one-time entries flood the LRU,\n"
+      "evicting still-fresh useful records (premature_nondisposable) and\n"
+      "inflating resolver-to-authority traffic — the paper's Section VI-A\n"
+      "prediction.  Re-run with a larger capacity in the source to see the\n"
+      "effect collapse.\n");
+  return 0;
+}

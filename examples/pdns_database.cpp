@@ -1,0 +1,100 @@
+// Passive-DNS database example.
+//
+// Bootstraps a pDNS database over three days of ISP traffic, mines
+// disposable zones on day one, and shows the two things an operator cares
+// about: forensic lookups (when was this record first seen?) and the
+// storage effect of wildcard-folding the mined disposable zones.
+//
+// Run: ./build/examples/pdns_database
+
+#include <cstdio>
+#include <optional>
+
+#include "miner/pipeline.h"
+#include "pdns/pdns_db.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace dnsnoise;
+
+int main() {
+  PipelineOptions options;
+  options.scale.queries_per_day = 120'000;
+  options.scale.client_count = 6'000;
+  options.warmup = false;
+
+  PassiveDnsDb raw(/*wildcard_folding=*/false);
+  PassiveDnsDb folded(/*wildcard_folding=*/true);
+  std::optional<FindingIndex> mined;
+  std::string sample_disposable;
+  std::string sample_popular = "mail.google.com";
+
+  for (int day = 0; day < 3; ++day) {
+    ScenarioScale scale = options.scale;
+    scale.traffic_stream = static_cast<std::uint64_t>(day);
+    PipelineOptions day_options = options;
+    day_options.scale = scale;
+    DayCapture capture;
+    if (day == 0) {
+      // Mine the disposable zones once, install them as folding rules.
+      const MiningDayResult result =
+          run_mining_day(ScenarioDate::kDec30, day_options, &capture);
+      for (const auto& finding : result.findings) {
+        folded.add_rule({finding.zone, finding.depth});
+      }
+      mined.emplace(result.findings);
+      std::printf("Day 1: mined %zu disposable zone rules "
+                  "(precision vs ground truth: %s)\n",
+                  result.findings.size(),
+                  percent(result.evaluation.finding_precision()).c_str());
+    } else {
+      Scenario scenario(ScenarioDate::kDec30, scale);
+      simulate_day(scenario, capture, day_options, day);
+    }
+    for (const auto& [key, counts] : capture.chr().entries()) {
+      const auto name = DomainName::parse(key.name);
+      if (!name) continue;
+      raw.add(*name, key.type, key.rdata, day);
+      folded.add(*name, key.type, key.rdata, day);
+      if ((sample_disposable.empty() || name->label_count() >= 6) &&
+          sample_disposable.find(".avqs.") == std::string::npos && mined &&
+          mined->is_disposable(*name)) {
+        sample_disposable = key.name;  // prefer a deep archetypal name
+      }
+    }
+    std::printf("Day %d: raw DB %s records (%s bytes), folded DB %s records "
+                "(%s bytes)\n",
+                day + 1, with_commas(raw.unique_records()).c_str(),
+                with_commas(raw.storage_bytes()).c_str(),
+                with_commas(folded.unique_records()).c_str(),
+                with_commas(folded.storage_bytes()).c_str());
+  }
+
+  // Forensic lookups.
+  std::printf("\nForensic queries against the raw database:\n");
+  TextTable table({"query", "stored_as", "first_seen_day"});
+  for (const std::string& name : {sample_popular, sample_disposable}) {
+    if (name.empty()) continue;
+    const DomainName domain(name);
+    // Probe all three days' possible first-seen values via the store.
+    std::int64_t first_seen = -1;
+    raw.store().for_each([&](const RRKey& key, const RpDnsRecord& record) {
+      if (key.name == name &&
+          (first_seen < 0 || record.first_seen_day < first_seen)) {
+        first_seen = record.first_seen_day;
+      }
+    });
+    table.add_row({name, folded.stored_name(domain),
+                   first_seen < 0 ? "never" : std::to_string(first_seen + 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double saved = 1.0 - static_cast<double>(folded.storage_bytes()) /
+                                 static_cast<double>(raw.storage_bytes());
+  std::printf("Wildcard folding keeps full forensic coverage of the\n"
+              "disposable zones while saving %s of storage (%s folded\n"
+              "additions hit existing wildcard records).\n",
+              percent(saved).c_str(),
+              with_commas(folded.folded_additions()).c_str());
+  return 0;
+}

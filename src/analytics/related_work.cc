@@ -1,0 +1,82 @@
+#include "analytics/related_work.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+TrafficTaxonomy classify_taxonomy(const FpDnsDataset& fpdns,
+                                  const DisposablePredicate& is_disposable) {
+  TrafficTaxonomy taxonomy;
+  for (const FpDnsEntry& entry : fpdns.entries()) {
+    if (entry.direction != FpDirection::kBelow) continue;
+    if (!entry.successful()) {
+      ++taxonomy.unwanted;
+      continue;
+    }
+    const auto name = DomainName::parse(entry.qname);
+    if (name && is_disposable(*name)) {
+      ++taxonomy.overloaded;
+    } else {
+      ++taxonomy.canonical;
+    }
+  }
+  return taxonomy;
+}
+
+CovertChannelStudy covert_channel_study(
+    const FpDnsDataset& fpdns,
+    const std::function<std::string(const DomainName&)>& zone_of,
+    std::uint64_t threshold) {
+  CovertChannelStudy study;
+  study.threshold = threshold;
+
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::string>& key) const noexcept {
+      return static_cast<std::size_t>(mix64(key.first) ^ fnv1a64(key.second));
+    }
+  };
+  std::unordered_map<std::pair<std::uint64_t, std::string>, std::uint64_t,
+                     PairHash>
+      per_pair;
+  std::unordered_map<std::string, std::uint64_t> per_zone;
+
+  for (const FpDnsEntry& entry : fpdns.entries()) {
+    if (entry.direction != FpDirection::kBelow || !entry.successful()) {
+      continue;
+    }
+    const auto name = DomainName::parse(entry.qname);
+    if (!name) continue;
+    const std::string zone = zone_of(*name);
+    if (zone.empty()) continue;
+    // The channel payload is the variable part of the name: everything the
+    // sender controls left of the zone apex.
+    const std::uint64_t payload =
+        entry.qname.size() > zone.size() ? entry.qname.size() - zone.size()
+                                         : 0;
+    per_pair[{entry.client_id, zone}] += payload;
+    per_zone[zone] += payload;
+  }
+
+  study.per_client_zone_bytes.reserve(per_pair.size());
+  std::uint64_t under = 0;
+  for (const auto& [key, bytes] : per_pair) {
+    study.per_client_zone_bytes.push_back(bytes);
+    if (bytes < threshold) ++under;
+  }
+  std::sort(study.per_client_zone_bytes.begin(),
+            study.per_client_zone_bytes.end(), std::greater<>());
+  if (!per_pair.empty()) {
+    study.under_threshold_fraction =
+        static_cast<double>(under) / static_cast<double>(per_pair.size());
+  }
+  for (const auto& [zone, bytes] : per_zone) {
+    study.busiest_zone_bytes = std::max(study.busiest_zone_bytes, bytes);
+  }
+  return study;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,60 @@
+// Analyses from the paper's related-work discussion (Section II-B).
+//
+// 1. Plonka & Barford's treetop taxonomy: DNS traffic splits into
+//    *canonical* (ordinary name->IP mapping), *overloaded* (DNS used as a
+//    signaling/transport channel — the superclass of disposable traffic),
+//    and *unwanted* (unsuccessful resolutions, i.e. NXDOMAIN).
+//
+// 2. Paxson et al.'s covert-channel bound: an enterprise detector enforcing
+//    ~4 kB/day of outbound name data per (client, destination zone) pair.
+//    The paper argues disposable domains "can be stealthy and stay under
+//    this threshold", yet are identifiable *collectively* from the zone's
+//    aggregate — these routines measure exactly that contrast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analytics/measurements.h"
+#include "pdns/fpdns.h"
+
+namespace dnsnoise {
+
+/// Treetop-style traffic split, in below-tap response units.
+struct TrafficTaxonomy {
+  std::uint64_t canonical = 0;
+  std::uint64_t overloaded = 0;  // entries under disposable zones
+  std::uint64_t unwanted = 0;    // unsuccessful resolutions
+
+  std::uint64_t total() const noexcept {
+    return canonical + overloaded + unwanted;
+  }
+};
+
+/// Classifies every below-tap fpDNS entry.
+TrafficTaxonomy classify_taxonomy(const FpDnsDataset& fpdns,
+                                  const DisposablePredicate& is_disposable);
+
+/// Per-(client, disposable zone) outbound information volume: the sum of
+/// queried-name bytes a covert-channel detector would meter.
+struct CovertChannelStudy {
+  /// Daily name-byte volumes, one per (client, zone) pair, descending.
+  std::vector<std::uint64_t> per_client_zone_bytes;
+  /// Fraction of pairs below the detector threshold (stealthy senders).
+  double under_threshold_fraction = 0.0;
+  /// Aggregate name bytes of the busiest single zone across all clients —
+  /// the collective footprint the zone miner keys on instead.
+  std::uint64_t busiest_zone_bytes = 0;
+  std::uint64_t threshold = 0;
+};
+
+/// `zone_of` maps a queried name to its disposable zone apex (empty string
+/// when the name is not disposable); `threshold` defaults to Paxson's
+/// 4 kB/day bound.
+CovertChannelStudy covert_channel_study(
+    const FpDnsDataset& fpdns,
+    const std::function<std::string(const DomainName&)>& zone_of,
+    std::uint64_t threshold = 4096);
+
+}  // namespace dnsnoise

@@ -1,0 +1,27 @@
+#include "dns/message.h"
+
+namespace dnsnoise {
+
+DnsMessage DnsMessage::make_query(std::uint16_t id, const DomainName& qname,
+                                  RRType qtype) {
+  DnsMessage msg;
+  msg.header.id = id;
+  msg.header.qr = false;
+  msg.header.rd = true;
+  msg.questions.push_back({qname, qtype});
+  return msg;
+}
+
+DnsMessage DnsMessage::make_response(const DnsMessage& query, RCode rcode,
+                                     std::vector<ResourceRecord> answers) {
+  DnsMessage msg;
+  msg.header = query.header;
+  msg.header.qr = true;
+  msg.header.ra = true;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  msg.answers = std::move(answers);
+  return msg;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,51 @@
+// In-memory DNS message model (RFC 1035 §4), used by the wire codec and the
+// packet capture pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+
+namespace dnsnoise {
+
+/// DNS header flags relevant to this project.
+struct DnsHeader {
+  std::uint16_t id = 0;
+  bool qr = false;                 // response flag
+  std::uint8_t opcode = 0;         // QUERY
+  bool aa = false;                 // authoritative answer
+  bool tc = false;                 // truncated
+  bool rd = true;                  // recursion desired
+  bool ra = false;                 // recursion available
+  RCode rcode = RCode::NoError;
+
+  friend bool operator==(const DnsHeader&, const DnsHeader&) = default;
+};
+
+struct Question {
+  DomainName name;
+  RRType type = RRType::A;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct DnsMessage {
+  DnsHeader header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// Convenience factories for the two message shapes the simulator emits.
+  static DnsMessage make_query(std::uint16_t id, const DomainName& qname,
+                               RRType qtype);
+  static DnsMessage make_response(const DnsMessage& query, RCode rcode,
+                                  std::vector<ResourceRecord> answers);
+
+  friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
+};
+
+}  // namespace dnsnoise

@@ -1,0 +1,127 @@
+#include "dns/name.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dnsnoise {
+
+namespace {
+
+bool is_allowed_label_char(char c) noexcept {
+  const auto uc = static_cast<unsigned char>(c);
+  // Hostnames in the wild (and in the paper's Fig. 6 samples) use letters,
+  // digits, hyphens, and underscores; we accept that superset of LDH.
+  return std::isalnum(uc) != 0 || c == '-' || c == '_';
+}
+
+}  // namespace
+
+std::string DomainName::normalize_or_throw(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return {};
+  if (text.size() > kMaxTextLength) {
+    throw std::invalid_argument("DomainName: name too long");
+  }
+  std::string out;
+  out.reserve(text.size());
+  std::size_t label_len = 0;
+  for (const char c : text) {
+    if (c == '.') {
+      if (label_len == 0) {
+        throw std::invalid_argument("DomainName: empty label");
+      }
+      label_len = 0;
+      out.push_back('.');
+      continue;
+    }
+    if (!is_allowed_label_char(c)) {
+      throw std::invalid_argument("DomainName: invalid character");
+    }
+    if (++label_len > kMaxLabelLength) {
+      throw std::invalid_argument("DomainName: label too long");
+    }
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (label_len == 0) throw std::invalid_argument("DomainName: empty label");
+  return out;
+}
+
+DomainName::DomainName(std::string_view text)
+    : text_(normalize_or_throw(text)) {
+  index_labels();
+}
+
+std::optional<DomainName> DomainName::parse(std::string_view text) {
+  try {
+    return DomainName(text);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+void DomainName::index_labels() {
+  offsets_.clear();
+  if (text_.empty()) return;
+  offsets_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '.') offsets_.push_back(static_cast<std::uint16_t>(i + 1));
+  }
+}
+
+std::string_view DomainName::label(std::size_t i) const {
+  if (i >= offsets_.size()) throw std::out_of_range("DomainName::label");
+  const std::size_t start = offsets_[i];
+  const std::size_t end =
+      i + 1 < offsets_.size() ? offsets_[i + 1] - 1 : text_.size();
+  return std::string_view(text_).substr(start, end - start);
+}
+
+std::vector<std::string_view> DomainName::labels() const {
+  std::vector<std::string_view> out;
+  out.reserve(offsets_.size());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) out.push_back(label(i));
+  return out;
+}
+
+std::string_view DomainName::nld_view(std::size_t n) const {
+  if (n == 0) return {};
+  if (n >= offsets_.size()) return text_;
+  const std::size_t start = offsets_[offsets_.size() - n];
+  return std::string_view(text_).substr(start);
+}
+
+DomainName DomainName::nld(std::size_t n) const {
+  DomainName out;
+  out.text_ = std::string(nld_view(n));
+  out.index_labels();
+  return out;
+}
+
+DomainName DomainName::parent() const {
+  if (offsets_.size() <= 1) return {};
+  DomainName out;
+  out.text_ = text_.substr(offsets_[1]);
+  out.index_labels();
+  return out;
+}
+
+bool DomainName::is_within(std::string_view zone) const noexcept {
+  if (zone.empty()) return true;  // everything is under the root
+  if (text_.size() < zone.size()) return false;
+  if (text_.size() == zone.size()) return text_ == zone;
+  // Must be a proper subdomain: suffix match at a label boundary.
+  const std::size_t cut = text_.size() - zone.size();
+  return text_[cut - 1] == '.' &&
+         std::string_view(text_).substr(cut) == zone;
+}
+
+DomainName DomainName::child(std::string_view child_label) const {
+  std::string combined(child_label);
+  if (!text_.empty()) {
+    combined.push_back('.');
+    combined.append(text_);
+  }
+  return DomainName(combined);
+}
+
+}  // namespace dnsnoise

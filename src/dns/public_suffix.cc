@@ -1,0 +1,204 @@
+#include "dns/public_suffix.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace dnsnoise {
+
+namespace {
+
+// A compact representative snapshot of the public suffix list.  It covers
+// the generic TLDs, the multi-label country suffixes exercised by the
+// paper's examples (com.cn, co.uk, ...), PSL wildcard/exception rules, and
+// the dynamic-DNS style zones the paper adds on top of Mozilla's list.
+constexpr std::string_view kBuiltinRules = R"(
+// generic
+com
+net
+org
+edu
+gov
+mil
+int
+info
+biz
+name
+mobi
+io
+co
+me
+tv
+cc
+us
+ca
+de
+fr
+nl
+se
+no
+fi
+es
+it
+ch
+at
+be
+dk
+pl
+ru
+cn
+jp
+kr
+in
+br
+mx
+au
+nz
+eu
+arpa
+in-addr.arpa
+ip6.arpa
+// multi-label country suffixes
+co.uk
+org.uk
+ac.uk
+gov.uk
+net.uk
+me.uk
+ltd.uk
+plc.uk
+sch.uk
+com.cn
+net.cn
+org.cn
+gov.cn
+edu.cn
+ac.cn
+com.au
+net.au
+org.au
+edu.au
+gov.au
+co.jp
+ne.jp
+or.jp
+ac.jp
+go.jp
+co.kr
+or.kr
+com.br
+net.br
+org.br
+gov.br
+co.in
+net.in
+org.in
+com.mx
+co.nz
+net.nz
+org.nz
+com.tw
+org.tw
+// wildcard + exception rules (PSL grammar exercise)
+*.ck
+!www.ck
+*.bd
+*.er
+// dynamic-DNS zones (paper: "corrects the omission of dynamic DNS zones")
+dyndns.org
+no-ip.com
+no-ip.org
+dynalias.com
+homeip.net
+duckdns.org
+afraid.org
+hopto.org
+zapto.org
+3utilities.com
+blogspot.com
+appspot.com
+herokuapp.com
+cloudfront.net
+s3.amazonaws.com
+)";
+
+}  // namespace
+
+const PublicSuffixList& PublicSuffixList::builtin() {
+  static const PublicSuffixList instance = [] {
+    PublicSuffixList psl;
+    psl.add_rules_text(kBuiltinRules);
+    return psl;
+  }();
+  return instance;
+}
+
+void PublicSuffixList::add_rule(std::string_view rule) {
+  if (rule.empty()) throw std::invalid_argument("PSL: empty rule");
+  if (rule.front() == '!') {
+    rule.remove_prefix(1);
+    const DomainName name(rule);  // validates + normalizes
+    exception_.insert(name.text());
+    return;
+  }
+  if (starts_with(rule, "*.")) {
+    rule.remove_prefix(2);
+    const DomainName name(rule);
+    wildcard_.insert(name.text());
+    return;
+  }
+  const DomainName name(rule);
+  exact_.insert(name.text());
+}
+
+void PublicSuffixList::add_rules_text(std::string_view text) {
+  for (std::string_view line : split(text, '\n')) {
+    // Trim whitespace and skip comments / blanks.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || starts_with(line, "//")) continue;
+    add_rule(line);
+  }
+}
+
+std::size_t PublicSuffixList::suffix_label_count(const DomainName& name) const {
+  const std::size_t n = name.label_count();
+  if (n == 0) return 0;
+  // PSL semantics: the longest matching rule wins; an exception rule beats
+  // a wildcard rule and removes one label from the wildcard's match.
+  std::size_t best = 1;  // implicit "*" rule
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::string suffix(name.nld_view(k));
+    if (exception_.contains(suffix)) {
+      // "!www.ck": the public suffix is the part after the exception label.
+      return k - 1;
+    }
+    if (exact_.contains(suffix)) best = std::max(best, k);
+    if (k < n && wildcard_.contains(suffix)) {
+      // "*.ck" makes <anything>.ck a public suffix (k + 1 labels).
+      best = std::max(best, k + 1);
+    }
+    if (k == n && wildcard_.contains(suffix)) {
+      // The wildcard parent itself ("ck") is also a public suffix.
+      best = std::max(best, k);
+    }
+  }
+  return best;
+}
+
+DomainName PublicSuffixList::effective_tld(const DomainName& name) const {
+  return name.nld(suffix_label_count(name));
+}
+
+DomainName PublicSuffixList::registrable_domain(const DomainName& name) const {
+  const std::size_t suffix = suffix_label_count(name);
+  if (name.label_count() <= suffix) return {};
+  return name.nld(suffix + 1);
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,36 @@
+#include "dns/rr.h"
+
+namespace dnsnoise {
+
+std::string_view to_string(RRType type) noexcept {
+  switch (type) {
+    case RRType::A: return "A";
+    case RRType::NS: return "NS";
+    case RRType::CNAME: return "CNAME";
+    case RRType::SOA: return "SOA";
+    case RRType::PTR: return "PTR";
+    case RRType::MX: return "MX";
+    case RRType::TXT: return "TXT";
+    case RRType::AAAA: return "AAAA";
+    case RRType::OPT: return "OPT";
+    case RRType::DS: return "DS";
+    case RRType::RRSIG: return "RRSIG";
+    case RRType::NSEC: return "NSEC";
+    case RRType::DNSKEY: return "DNSKEY";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view to_string(RCode rcode) noexcept {
+  switch (rcode) {
+    case RCode::NoError: return "NOERROR";
+    case RCode::FormErr: return "FORMERR";
+    case RCode::ServFail: return "SERVFAIL";
+    case RCode::NXDomain: return "NXDOMAIN";
+    case RCode::NotImp: return "NOTIMP";
+    case RCode::Refused: return "REFUSED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,109 @@
+// Resource records and related enums.
+//
+// The fpDNS dataset entry (Section III-A) carries the queried name, query
+// type, TTL and RDATA; the rpDNS dataset deduplicates on the (name, type,
+// rdata) triple.  RRKey captures that dedup identity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "dns/name.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+/// DNS RR types used in this codebase (the paper's dataset contains A,
+/// CNAME and AAAA answers; the DNSSEC types appear in the Section VI-B cost
+/// model).
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  OPT = 41,
+  DS = 43,
+  RRSIG = 46,
+  NSEC = 47,
+  DNSKEY = 48,
+};
+
+/// Response codes (RFC 1035 / 2308).
+enum class RCode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NXDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string_view to_string(RRType type) noexcept;
+std::string_view to_string(RCode rcode) noexcept;
+
+/// A resource record.  `rdata` holds the presentation form: a dotted quad
+/// for A, compressed hex groups for AAAA, a domain name for CNAME/NS/PTR,
+/// free text otherwise.
+struct ResourceRecord {
+  DomainName name;
+  RRType type = RRType::A;
+  std::uint32_t ttl = 0;
+  std::string rdata;
+
+  friend bool operator==(const ResourceRecord&,
+                         const ResourceRecord&) = default;
+};
+
+/// Identity of an RR for caching and deduplication: (name, type, rdata).
+/// TTL is excluded on purpose — a re-announced record with a fresh TTL is
+/// the *same* record for both the cache and the rpDNS dataset.
+struct RRKey {
+  std::string name;
+  RRType type = RRType::A;
+  std::string rdata;
+
+  RRKey() = default;
+  RRKey(std::string name_in, RRType type_in, std::string rdata_in)
+      : name(std::move(name_in)), type(type_in), rdata(std::move(rdata_in)) {}
+  explicit RRKey(const ResourceRecord& rr)
+      : name(rr.name.text()), type(rr.type), rdata(rr.rdata) {}
+
+  friend bool operator==(const RRKey&, const RRKey&) = default;
+};
+
+/// Cache identity of a *question*: (qname, qtype).  The resolver cache is
+/// keyed by question, holding the full answer RRset.
+struct QuestionKey {
+  std::string name;
+  RRType type = RRType::A;
+
+  friend bool operator==(const QuestionKey&, const QuestionKey&) = default;
+};
+
+}  // namespace dnsnoise
+
+template <>
+struct std::hash<dnsnoise::RRKey> {
+  std::size_t operator()(const dnsnoise::RRKey& k) const noexcept {
+    std::uint64_t h = dnsnoise::fnv1a64(k.name);
+    h = dnsnoise::mix64(h ^ static_cast<std::uint64_t>(k.type));
+    h ^= dnsnoise::fnv1a64(k.rdata);
+    return static_cast<std::size_t>(dnsnoise::mix64(h));
+  }
+};
+
+template <>
+struct std::hash<dnsnoise::QuestionKey> {
+  std::size_t operator()(const dnsnoise::QuestionKey& k) const noexcept {
+    const std::uint64_t h =
+        dnsnoise::fnv1a64(k.name) ^
+        dnsnoise::mix64(static_cast<std::uint64_t>(k.type));
+    return static_cast<std::size_t>(dnsnoise::mix64(h));
+  }
+};

@@ -1,0 +1,32 @@
+// DNS wire-format codec (RFC 1035 §4) with name compression.
+//
+// The capture pipeline (netio/) parses raw DNS payloads out of pcap frames
+// at high rate; the decoder is therefore non-throwing and fully
+// bounds-checked, returning std::nullopt on any malformed input
+// (truncation, compression loops, label overruns).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace dnsnoise {
+
+/// Serializes a message to wire format, compressing repeated name suffixes.
+/// Throws std::invalid_argument if an A/AAAA record carries unparseable
+/// rdata.
+std::vector<std::uint8_t> encode_message(const DnsMessage& msg);
+
+/// Parses a wire-format message.  Returns std::nullopt on malformed input.
+std::optional<DnsMessage> decode_message(std::span<const std::uint8_t> wire);
+
+/// Decodes a single (possibly compressed) name starting at `offset` within
+/// `wire`.  On success advances `offset` past the name's in-place bytes and
+/// returns the name.  Exposed for tests and for tools that scan packets.
+std::optional<DomainName> decode_name(std::span<const std::uint8_t> wire,
+                                      std::size_t& offset);
+
+}  // namespace dnsnoise

@@ -1,0 +1,69 @@
+#include "features/chr.h"
+
+namespace dnsnoise {
+
+CacheHitRateTracker::Counts& CacheHitRateTracker::entry_for(
+    const std::string& name, RRType type, const std::string& rdata) {
+  RRKey key{name, type, rdata};
+  const auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].second;
+  const auto idx = static_cast<std::uint32_t>(entries_.size());
+  entries_.emplace_back(std::move(key), Counts{});
+  index_.emplace(entries_.back().first, idx);
+  by_name_[entries_.back().first.name].push_back(idx);
+  return entries_.back().second;
+}
+
+void CacheHitRateTracker::record_below(const std::string& name, RRType type,
+                                       const std::string& rdata,
+                                       std::uint32_t ttl) {
+  Counts& counts = entry_for(name, type, rdata);
+  if (counts.below + counts.above == 0) counts.ttl = ttl;
+  ++counts.below;
+}
+
+void CacheHitRateTracker::record_above(const std::string& name, RRType type,
+                                       const std::string& rdata,
+                                       std::uint32_t ttl) {
+  Counts& counts = entry_for(name, type, rdata);
+  if (counts.below + counts.above == 0) counts.ttl = ttl;
+  ++counts.above;
+}
+
+const CacheHitRateTracker::Counts* CacheHitRateTracker::find(
+    const RRKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &entries_[it->second].second;
+}
+
+double CacheHitRateTracker::dhr(const Counts& counts) noexcept {
+  if (counts.below == 0) return 0.0;
+  if (counts.above >= counts.below) return 0.0;
+  return static_cast<double>(counts.below - counts.above) /
+         static_cast<double>(counts.below);
+}
+
+std::span<const std::uint32_t> CacheHitRateTracker::rrs_of_name(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return {};
+  return it->second;
+}
+
+std::vector<double> CacheHitRateTracker::all_dhr() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, counts] : entries_) out.push_back(dhr(counts));
+  return out;
+}
+
+std::vector<double> CacheHitRateTracker::chr_distribution() const {
+  std::vector<double> out;
+  for (const auto& [key, counts] : entries_) {
+    const double rate = dhr(counts);
+    for (std::uint64_t i = 0; i < counts.above; ++i) out.push_back(rate);
+  }
+  return out;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,69 @@
+// Cache-hit-rate accounting (paper Section III-C2).
+//
+// The monitoring point sees answer RRs below (client-facing) and above
+// (authority-facing) the cluster.  Per RR and per day:
+//   total queries  = below observations,
+//   cache misses   = above observations,
+//   DHR            = (queries - misses) / queries        [domain hit rate]
+//   CHR_i          = DHR for each of the n misses        [cache hit rate]
+// i.e. the CHR *distribution* repeats an RR's DHR once per miss, exactly
+// the paper's black-box simplification of the renewal model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/rr.h"
+
+namespace dnsnoise {
+
+class CacheHitRateTracker {
+ public:
+  struct Counts {
+    std::uint64_t below = 0;  // total queries (answers seen below)
+    std::uint64_t above = 0;  // cache misses (answers seen above)
+    std::uint32_t ttl = 0;    // authoritative TTL (first observation wins)
+  };
+
+  void record_below(const std::string& name, RRType type,
+                    const std::string& rdata, std::uint32_t ttl = 0);
+  void record_above(const std::string& name, RRType type,
+                    const std::string& rdata, std::uint32_t ttl = 0);
+
+  std::size_t unique_rrs() const noexcept { return entries_.size(); }
+
+  /// Counts for one RR, or nullptr if never seen.
+  const Counts* find(const RRKey& key) const;
+
+  /// Domain hit rate of an RR's counts (0 when it was never queried below,
+  /// clamped at 0 when above > below).
+  static double dhr(const Counts& counts) noexcept;
+
+  /// Indices (into entries()) of all RRs whose name is `name`.
+  std::span<const std::uint32_t> rrs_of_name(const std::string& name) const;
+
+  /// Flat access to every (key, counts) entry.
+  std::span<const std::pair<RRKey, Counts>> entries() const noexcept {
+    return entries_;
+  }
+
+  /// DHR of every RR (order matches entries()).
+  std::vector<double> all_dhr() const;
+
+  /// The day's CHR distribution: every RR's DHR repeated once per miss.
+  /// (Paper Figs. 4 and 7 plot the CDF of exactly this multiset.)
+  std::vector<double> chr_distribution() const;
+
+ private:
+  std::vector<std::pair<RRKey, Counts>> entries_;
+  std::unordered_map<RRKey, std::uint32_t> index_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> by_name_;
+
+  Counts& entry_for(const std::string& name, RRType type,
+                    const std::string& rdata);
+};
+
+}  // namespace dnsnoise

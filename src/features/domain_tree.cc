@@ -1,0 +1,121 @@
+#include "features/domain_tree.h"
+
+namespace dnsnoise {
+
+DomainNameTree::DomainNameTree() : root_(std::make_unique<Node>()) {}
+
+DomainNameTree::Node& DomainNameTree::insert(const DomainName& name) {
+  Node* node = root_.get();
+  const std::size_t labels = name.label_count();
+  // Walk right-to-left: TLD first.
+  for (std::size_t i = 0; i < labels; ++i) {
+    const std::string_view label = name.label_from_right(i);
+    const auto it = node->children.find(label);
+    if (it != node->children.end()) {
+      node = it->second.get();
+      continue;
+    }
+    auto child = std::make_unique<Node>();
+    child->label = std::string(label);
+    child->parent = node;
+    child->depth = node->depth + 1;
+    Node* raw = child.get();
+    node->children.emplace(raw->label, std::move(child));
+    ++node_count_;
+    node = raw;
+  }
+  if (!node->black && node != root_.get()) {
+    node->black = true;
+    ++black_count_;
+  }
+  return *node;
+}
+
+DomainNameTree::Node* DomainNameTree::find(const DomainName& name) {
+  Node* node = root_.get();
+  for (std::size_t i = 0; i < name.label_count(); ++i) {
+    const auto it = node->children.find(name.label_from_right(i));
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+const DomainNameTree::Node* DomainNameTree::find(
+    const DomainName& name) const {
+  return const_cast<DomainNameTree*>(this)->find(name);
+}
+
+void DomainNameTree::decolor(Node& node) noexcept {
+  if (node.black) {
+    node.black = false;
+    --black_count_;
+  }
+}
+
+std::string DomainNameTree::full_name(const Node& node) {
+  if (node.parent == nullptr) return {};
+  std::string name = node.label;
+  for (const Node* up = node.parent; up != nullptr && up->parent != nullptr;
+       up = up->parent) {
+    name.push_back('.');
+    name += up->label;
+  }
+  return name;
+}
+
+namespace {
+
+void collect_black(DomainNameTree::Node& node,
+                   std::map<std::size_t, std::vector<DomainNameTree::Node*>>&
+                       groups) {
+  for (auto& [label, child] : node.children) {
+    if (child->black) groups[child->depth].push_back(child.get());
+    collect_black(*child, groups);
+  }
+}
+
+}  // namespace
+
+std::map<std::size_t, std::vector<DomainNameTree::Node*>>
+DomainNameTree::black_descendants_by_depth(Node& zone) const {
+  std::map<std::size_t, std::vector<Node*>> groups;
+  collect_black(zone, groups);
+  return groups;
+}
+
+bool DomainNameTree::has_black_descendant(const Node& zone) noexcept {
+  for (const auto& [label, child] : zone.children) {
+    if (child->black || has_black_descendant(*child)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void collect_2lds(DomainNameTree::Node& node, std::string suffix_name,
+                  const PublicSuffixList& psl,
+                  std::vector<DomainNameTree::Node*>& out) {
+  for (auto& [label, child] : node.children) {
+    const std::string child_name =
+        suffix_name.empty() ? child->label : child->label + "." + suffix_name;
+    const DomainName child_domain(child_name);
+    if (psl.suffix_label_count(child_domain) == child_domain.label_count()) {
+      // This node is itself a public suffix; its children may be 2LDs.
+      collect_2lds(*child, child_name, psl, out);
+    } else {
+      out.push_back(child.get());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DomainNameTree::Node*> DomainNameTree::effective_2ld_nodes(
+    const PublicSuffixList& psl) {
+  std::vector<Node*> out;
+  collect_2lds(*root_, "", psl, out);
+  return out;
+}
+
+}  // namespace dnsnoise

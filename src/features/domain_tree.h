@@ -1,0 +1,74 @@
+// Domain name tree (paper Section V-A1).
+//
+// The root is ".", its children are TLD labels, and so on.  A node is
+// *black* when a resource record for that exact name was observed in the
+// day's traffic; decoloring a node (after its group is classified
+// disposable) turns it white so deeper passes of Algorithm 1 don't count it
+// again.  Depth is the label count of a node's name (path length to root).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/public_suffix.h"
+
+namespace dnsnoise {
+
+class DomainNameTree {
+ public:
+  struct Node {
+    std::string label;
+    Node* parent = nullptr;
+    std::size_t depth = 0;  // 0 for the root
+    bool black = false;
+    // Ordered map keeps traversal (and therefore miner output) fully
+    // deterministic across runs.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+  };
+
+  DomainNameTree();
+
+  /// Inserts `name`, marking its node black.  Intermediate nodes stay
+  /// white unless they are themselves inserted.
+  Node& insert(const DomainName& name);
+
+  /// Finds the node for `name`, or nullptr.
+  Node* find(const DomainName& name);
+  const Node* find(const DomainName& name) const;
+
+  Node& root() noexcept { return *root_; }
+  const Node& root() const noexcept { return *root_; }
+
+  std::size_t node_count() const noexcept { return node_count_; }
+  std::size_t black_count() const noexcept { return black_count_; }
+
+  /// Turns a black node white.
+  void decolor(Node& node) noexcept;
+
+  /// Reconstructs the full domain name of a node ("" for the root).
+  static std::string full_name(const Node& node);
+
+  /// All black descendants of `zone` (excluding `zone` itself), grouped by
+  /// absolute depth — the paper's G_k sets.
+  std::map<std::size_t, std::vector<Node*>> black_descendants_by_depth(
+      Node& zone) const;
+
+  /// True if `zone` has at least one black proper descendant.
+  static bool has_black_descendant(const Node& zone) noexcept;
+
+  /// The effective-2LD nodes: children of public-suffix nodes that are not
+  /// public suffixes themselves.  Algorithm 1 starts from these.
+  std::vector<Node*> effective_2ld_nodes(const PublicSuffixList& psl);
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t node_count_ = 1;
+  std::size_t black_count_ = 0;
+};
+
+}  // namespace dnsnoise

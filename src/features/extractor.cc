@@ -1,0 +1,81 @@
+#include "features/extractor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/entropy.h"
+#include "util/stats.h"
+
+namespace dnsnoise {
+
+namespace {
+
+/// Weighted median of (value, weight) pairs; 1.0 for an empty sample (an
+/// RR set with zero misses behaves as perfectly cached).
+double weighted_median(std::vector<std::pair<double, std::uint64_t>> sample) {
+  std::uint64_t total = 0;
+  for (const auto& [value, weight] : sample) total += weight;
+  if (total == 0) return 1.0;
+  std::sort(sample.begin(), sample.end());
+  std::uint64_t seen = 0;
+  for (const auto& [value, weight] : sample) {
+    seen += weight;
+    if (seen * 2 >= total) return value;
+  }
+  return sample.back().first;
+}
+
+}  // namespace
+
+GroupFeatures compute_group_features(
+    std::span<DomainNameTree::Node* const> group, std::size_t zone_depth,
+    const CacheHitRateTracker& chr) {
+  GroupFeatures features;
+  features.group_size = group.size();
+  if (group.empty()) return features;
+
+  // --- Tree-structure family: labels adjacent to the zone.
+  std::unordered_set<std::string_view> adjacent_labels;
+  for (const DomainNameTree::Node* node : group) {
+    // Walk up until the child-of-zone level (depth zone_depth + 1).
+    while (node->depth > zone_depth + 1) node = node->parent;
+    adjacent_labels.insert(node->label);
+  }
+  std::vector<double> entropies;
+  entropies.reserve(adjacent_labels.size());
+  for (const std::string_view label : adjacent_labels) {
+    entropies.push_back(shannon_entropy(label));
+  }
+  const Summary entropy_summary = summarize(entropies);
+  features.label_cardinality = static_cast<double>(adjacent_labels.size());
+  features.entropy_max = entropy_summary.max;
+  features.entropy_min = entropy_summary.min;
+  features.entropy_mean = entropy_summary.mean;
+  features.entropy_median = entropy_summary.median;
+  features.entropy_var = entropy_summary.variance;
+
+  // --- Cache-hit-rate family: the group's RRs.
+  std::vector<std::pair<double, std::uint64_t>> chr_sample;  // (DHR, misses)
+  std::size_t rr_count = 0;
+  std::size_t rr_zero = 0;
+  for (const DomainNameTree::Node* node : group) {
+    const std::string name = DomainNameTree::full_name(*node);
+    for (const std::uint32_t idx : chr.rrs_of_name(name)) {
+      const auto& [key, counts] = chr.entries()[idx];
+      const double rate = CacheHitRateTracker::dhr(counts);
+      ++rr_count;
+      if (counts.above > 0) {
+        chr_sample.emplace_back(rate, counts.above);
+        if (rate == 0.0) ++rr_zero;
+      }
+    }
+  }
+  features.chr_median = weighted_median(std::move(chr_sample));
+  features.chr_zero_frac =
+      rr_count == 0 ? 0.0
+                    : static_cast<double>(rr_zero) /
+                          static_cast<double>(rr_count);
+  return features;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,57 @@
+// Statistical feature extraction for a depth group G_k (Section V-A2).
+//
+// Two feature families:
+//   Tree structure — over L_k, the set of labels adjacent to the zone under
+//   inspection: cardinality m plus max/min/mean/median/variance of each
+//   label's Shannon character entropy.
+//   Cache hit rate — over the group's RRs: weighted median of the CHR
+//   distribution and the fraction of RRs with zero CHR.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/chr.h"
+#include "features/domain_tree.h"
+
+namespace dnsnoise {
+
+inline constexpr std::size_t kFeatureCount = 8;
+
+inline constexpr std::array<const char*, kFeatureCount> kFeatureNames = {
+    "label_cardinality", "entropy_max",    "entropy_min",
+    "entropy_mean",      "entropy_median", "entropy_var",
+    "chr_median",        "chr_zero_frac",
+};
+
+struct GroupFeatures {
+  // Tree-structure family.
+  double label_cardinality = 0.0;
+  double entropy_max = 0.0;
+  double entropy_min = 0.0;
+  double entropy_mean = 0.0;
+  double entropy_median = 0.0;
+  double entropy_var = 0.0;
+  // Cache-hit-rate family.
+  double chr_median = 0.0;
+  double chr_zero_frac = 0.0;
+  // Not a classifier input: used for minimum-group-size gating.
+  std::size_t group_size = 0;
+
+  std::array<double, kFeatureCount> as_array() const noexcept {
+    return {label_cardinality, entropy_max,    entropy_min, entropy_mean,
+            entropy_median,    entropy_var,    chr_median,  chr_zero_frac};
+  }
+};
+
+/// Computes the features of the group of black nodes `group` (all at the
+/// same depth) under the zone node at depth `zone_depth`.
+/// `chr` supplies per-RR query/miss counts for the same day.
+GroupFeatures compute_group_features(
+    std::span<DomainNameTree::Node* const> group, std::size_t zone_depth,
+    const CacheHitRateTracker& chr);
+
+}  // namespace dnsnoise

@@ -1,0 +1,64 @@
+#include "miner/algorithm1.h"
+
+#include <algorithm>
+
+namespace dnsnoise {
+
+DisposableZoneMiner::DisposableZoneMiner(const BinaryClassifier& model,
+                                         MinerConfig config)
+    : model_(model), config_(config) {}
+
+void DisposableZoneMiner::mine_zone(
+    DomainNameTree& tree, DomainNameTree::Node& zone,
+    const CacheHitRateTracker& chr,
+    std::vector<DisposableZoneFinding>& out) const {
+  // Line 1-3: stop when the zone has no black descendants.
+  if (!DomainNameTree::has_black_descendant(zone)) return;
+
+  // Line 4: group black descendants by depth.
+  const auto groups = tree.black_descendants_by_depth(zone);
+
+  // Lines 6-14: classify each group; decolor + output on a confident hit.
+  for (const auto& [depth, nodes] : groups) {
+    if (nodes.size() < config_.min_group_size) continue;
+    const GroupFeatures features =
+        compute_group_features(nodes, zone.depth, chr);
+    const double confidence = model_.predict_proba(features.as_array());
+    if (confidence >= config_.threshold) {
+      for (DomainNameTree::Node* node : nodes) tree.decolor(*node);
+      DisposableZoneFinding finding;
+      finding.zone = DomainNameTree::full_name(zone);
+      finding.depth = depth;
+      finding.confidence = confidence;
+      finding.group_size = nodes.size();
+      finding.features = features;
+      out.push_back(std::move(finding));
+    }
+  }
+
+  // Lines 15-17: recurse into child zones.
+  for (auto& [label, child] : zone.children) {
+    mine_zone(tree, *child, chr, out);
+  }
+}
+
+std::vector<DisposableZoneFinding> DisposableZoneMiner::mine(
+    DomainNameTree& tree, const CacheHitRateTracker& chr) const {
+  std::vector<DisposableZoneFinding> out;
+  for (DomainNameTree::Node* zone : tree.effective_2ld_nodes(*config_.psl)) {
+    mine_zone(tree, *zone, chr, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DisposableZoneFinding& a, const DisposableZoneFinding& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.group_size != b.group_size) {
+                return a.group_size > b.group_size;
+              }
+              return a.zone < b.zone;
+            });
+  return out;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,60 @@
+// Algorithm 1: the disposable domain classification walk (paper Section V-B).
+//
+// Starting from every effective 2LD in the day's domain name tree, group
+// the zone's black descendants by depth, classify each group's statistical
+// vector, decolor groups classified disposable with confidence >= theta,
+// emit the (zone, depth) pair, and recurse into the child zones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "features/chr.h"
+#include "features/domain_tree.h"
+#include "features/extractor.h"
+#include "ml/classifier.h"
+
+namespace dnsnoise {
+
+struct MinerConfig {
+  /// Classifier confidence threshold theta (paper Line 5: 0.9).
+  double threshold = 0.9;
+  /// Groups smaller than this are not classified (implementation guard; the
+  /// paper labels zones with >= 15 names and leaves tiny groups untouched).
+  std::size_t min_group_size = 5;
+  const PublicSuffixList* psl = &PublicSuffixList::builtin();
+};
+
+/// One mined disposable zone: the output pair (zone, depth) of Algorithm 1
+/// plus the classification evidence.
+struct DisposableZoneFinding {
+  std::string zone;
+  std::size_t depth = 0;
+  double confidence = 0.0;
+  std::size_t group_size = 0;
+  GroupFeatures features;
+};
+
+class DisposableZoneMiner {
+ public:
+  /// `model` must be trained and outlive the miner.
+  DisposableZoneMiner(const BinaryClassifier& model, MinerConfig config = {});
+
+  /// Runs Algorithm 1 over the whole tree (every effective 2LD).  Decolors
+  /// classified groups in place.  Findings are ranked by confidence, then
+  /// group size, descending.
+  std::vector<DisposableZoneFinding> mine(DomainNameTree& tree,
+                                          const CacheHitRateTracker& chr) const;
+
+  /// Runs Algorithm 1 rooted at one zone node (exposed for tests).
+  void mine_zone(DomainNameTree& tree, DomainNameTree::Node& zone,
+                 const CacheHitRateTracker& chr,
+                 std::vector<DisposableZoneFinding>& out) const;
+
+ private:
+  const BinaryClassifier& model_;
+  MinerConfig config_;
+};
+
+}  // namespace dnsnoise

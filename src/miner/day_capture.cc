@@ -1,0 +1,82 @@
+#include "miner/day_capture.h"
+
+#include "workload/scenario.h"
+
+namespace dnsnoise {
+
+DayCapture::DayCapture(const DayCaptureConfig& config) : config_(config) {}
+
+void DayCapture::attach(RdnsCluster& cluster) {
+  cluster.set_below_sink([this](SimTime ts, std::uint64_t client_id,
+                                const Question& question, RCode rcode,
+                                std::span<const ResourceRecord> answers) {
+    on_below(ts, client_id, question, rcode, answers);
+  });
+  cluster.set_above_sink([this](SimTime ts, const Question& question,
+                                RCode rcode,
+                                std::span<const ResourceRecord> answers) {
+    on_above(ts, question, rcode, answers);
+  });
+}
+
+void DayCapture::start_day(std::int64_t day_index) {
+  config_.day_index = day_index;
+  tree_ = DomainNameTree();
+  chr_ = CacheHitRateTracker();
+  below_ = HourlySeries();
+  above_ = HourlySeries();
+  queried_.clear();
+  resolved_.clear();
+  fpdns_.clear();
+}
+
+void DayCapture::bump(HourlySeries& series, SimTime ts, std::uint64_t units,
+                      bool nx, const DomainName& qname) {
+  const auto hour = static_cast<std::size_t>(hour_of_day(ts));
+  series.total[hour] += units;
+  if (nx) series.nxdomain[hour] += units;
+  if (Scenario::is_google_name(qname)) series.google[hour] += units;
+  if (Scenario::is_akamai_name(qname)) series.akamai[hour] += units;
+}
+
+void DayCapture::on_below(SimTime ts, std::uint64_t client_id,
+                          const Question& question, RCode rcode,
+                          std::span<const ResourceRecord> answers) {
+  const bool nx = rcode != RCode::NoError;
+  const std::uint64_t units = nx || answers.empty()
+                                  ? 1
+                                  : static_cast<std::uint64_t>(answers.size());
+  bump(below_, ts, units, nx, question.name);
+  queried_.insert(question.name.text());
+  if (config_.keep_fpdns) {
+    fpdns_.add_response(ts, client_id, FpDirection::kBelow, question, rcode,
+                        answers);
+  }
+  if (nx) return;
+  for (const ResourceRecord& rr : answers) {
+    chr_.record_below(rr.name.text(), rr.type, rr.rdata, rr.ttl);
+    tree_.insert(rr.name);
+    resolved_.insert(rr.name.text());
+    if (config_.feed_rpdns) {
+      rpdns_.add(RRKey(rr), config_.day_index);
+    }
+  }
+}
+
+void DayCapture::on_above(SimTime ts, const Question& question, RCode rcode,
+                          std::span<const ResourceRecord> answers) {
+  const bool nx = rcode != RCode::NoError;
+  const std::uint64_t units = nx || answers.empty()
+                                  ? 1
+                                  : static_cast<std::uint64_t>(answers.size());
+  bump(above_, ts, units, nx, question.name);
+  if (config_.keep_fpdns) {
+    fpdns_.add_response(ts, 0, FpDirection::kAbove, question, rcode, answers);
+  }
+  if (nx) return;
+  for (const ResourceRecord& rr : answers) {
+    chr_.record_above(rr.name.text(), rr.type, rr.rdata, rr.ttl);
+  }
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,105 @@
+// DayCapture: the monitoring tap of one simulated day.
+//
+// Subscribes to an RdnsCluster's below/above answer streams and accumulates
+// everything the paper's analyses need for that day: the domain name tree
+// of resolved names, per-RR cache-hit-rate counts, hourly traffic-volume
+// series with tenant attribution (Fig. 2), unique queried/resolved name
+// sets, and optionally the raw fpDNS entries and rpDNS/pDNS-DB feeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "features/chr.h"
+#include "features/domain_tree.h"
+#include "pdns/fpdns.h"
+#include "pdns/rpdns.h"
+#include "resolver/cluster.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise {
+
+/// Hourly volume counters for one stream (24 slots).
+struct HourlySeries {
+  std::array<std::uint64_t, 24> total{};
+  std::array<std::uint64_t, 24> nxdomain{};
+  std::array<std::uint64_t, 24> google{};
+  std::array<std::uint64_t, 24> akamai{};
+
+  std::uint64_t sum_total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : total) sum += v;
+    return sum;
+  }
+  std::uint64_t sum_nxdomain() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : nxdomain) sum += v;
+    return sum;
+  }
+};
+
+struct DayCaptureConfig {
+  bool keep_fpdns = false;       // store raw fpDNS entries (memory-heavy)
+  bool feed_rpdns = false;       // deduplicate into the rpDNS dataset
+  std::int64_t day_index = 0;    // used for rpDNS first-seen dates
+};
+
+class DayCapture {
+ public:
+  explicit DayCapture(const DayCaptureConfig& config = {});
+
+  /// Installs this capture as the cluster's below/above sinks.  The capture
+  /// must outlive the cluster's use of those sinks.
+  void attach(RdnsCluster& cluster);
+
+  /// Direct sink entry points (exposed for pcap-driven ingestion paths).
+  void on_below(SimTime ts, std::uint64_t client_id, const Question& question,
+                RCode rcode, std::span<const ResourceRecord> answers);
+  void on_above(SimTime ts, const Question& question, RCode rcode,
+                std::span<const ResourceRecord> answers);
+
+  /// Advances to a new day: clears the per-day state (tree, CHR, series,
+  /// name sets) but keeps the cumulative rpDNS store.
+  void start_day(std::int64_t day_index);
+
+  DomainNameTree& tree() noexcept { return tree_; }
+  const DomainNameTree& tree() const noexcept { return tree_; }
+  CacheHitRateTracker& chr() noexcept { return chr_; }
+  const CacheHitRateTracker& chr() const noexcept { return chr_; }
+  RpDnsDataset& rpdns() noexcept { return rpdns_; }
+  const RpDnsDataset& rpdns() const noexcept { return rpdns_; }
+  const FpDnsDataset& fpdns() const noexcept { return fpdns_; }
+
+  const HourlySeries& below_series() const noexcept { return below_; }
+  const HourlySeries& above_series() const noexcept { return above_; }
+
+  /// Unique names queried below (successful or not) this day.
+  std::size_t unique_queried() const noexcept { return queried_.size(); }
+  /// Unique names successfully resolved this day.
+  std::size_t unique_resolved() const noexcept { return resolved_.size(); }
+
+  const std::unordered_set<std::string>& queried_names() const noexcept {
+    return queried_;
+  }
+  const std::unordered_set<std::string>& resolved_names() const noexcept {
+    return resolved_;
+  }
+
+ private:
+  DayCaptureConfig config_;
+  DomainNameTree tree_;
+  CacheHitRateTracker chr_;
+  RpDnsDataset rpdns_;
+  FpDnsDataset fpdns_;
+  HourlySeries below_;
+  HourlySeries above_;
+  std::unordered_set<std::string> queried_;
+  std::unordered_set<std::string> resolved_;
+
+  static void bump(HourlySeries& series, SimTime ts, std::uint64_t units,
+                   bool nx, const DomainName& qname);
+};
+
+}  // namespace dnsnoise

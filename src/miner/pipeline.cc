@@ -1,0 +1,87 @@
+#include "miner/pipeline.h"
+
+namespace dnsnoise {
+
+namespace {
+
+/// Feeds one generated day into the cluster.
+void drive_day(TrafficGenerator& traffic, RdnsCluster& cluster,
+               std::int64_t day) {
+  traffic.run_day(day, [&cluster](SimTime ts, std::uint64_t client,
+                                  const QuerySpec& query) {
+    const auto qname = DomainName::parse(query.qname);
+    if (!qname) return;  // generators only emit valid names; belt and braces
+    cluster.query(client, Question{*qname, query.qtype}, ts);
+  });
+}
+
+}  // namespace
+
+DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
+                           const PipelineOptions& options,
+                           std::int64_t day_index) {
+  RdnsCluster cluster(options.cluster, scenario.authority());
+  if (options.warmup) {
+    // Warm the caches with a reduced-volume preceding day.  The warmup
+    // scenario shares the zone population (same seed) but draws a distinct
+    // query stream, so disposable names are not artificially re-queried.
+    ScenarioScale warm_scale = scenario.scale();
+    warm_scale.queries_per_day = static_cast<std::uint64_t>(
+        static_cast<double>(warm_scale.queries_per_day) *
+        options.warmup_volume_fraction);
+    warm_scale.traffic_stream ^= 0xbeefcafeULL;
+    Scenario warm(scenario.date(), warm_scale);
+    drive_day(warm.traffic(), cluster, day_index - 1);
+  }
+  capture.start_day(day_index);
+  capture.attach(cluster);
+  drive_day(scenario.traffic(), cluster, day_index);
+  // Detach: the capture may outlive this cluster.
+  cluster.set_below_sink({});
+  cluster.set_above_sink({});
+  return cluster.aggregate_stats();
+}
+
+MiningDayResult run_mining_day(ScenarioDate date,
+                               const PipelineOptions& options,
+                               DayCapture* capture) {
+  Scenario scenario(date, options.scale);
+  DayCapture local_capture(options.capture);
+  DayCapture& tap = capture != nullptr ? *capture : local_capture;
+  simulate_day(scenario, tap, options, scenario_day_index(date));
+
+  MiningDayResult result;
+  result.labeled =
+      label_zones(tap.tree(), tap.chr(), scenario, options.labeler);
+  LadTree own_model(options.model);
+  const BinaryClassifier* model = options.pretrained;
+  if (model == nullptr) {
+    own_model.train(to_dataset(result.labeled));
+    model = &own_model;
+  }
+
+  const DisposableZoneMiner miner(*model, options.miner);
+  result.findings = miner.mine(tap.tree(), tap.chr());
+  result.evaluation = evaluate_findings(result.findings, scenario.truth());
+
+  const FindingIndex index(result.findings);
+  DayAggregates& agg = result.aggregates;
+  agg.unique_queried = tap.unique_queried();
+  agg.unique_resolved = tap.unique_resolved();
+  agg.unique_rrs = tap.chr().unique_rrs();
+  for (const std::string& name : tap.queried_names()) {
+    const auto parsed = DomainName::parse(name);
+    if (parsed && index.is_disposable(*parsed)) ++agg.disposable_queried;
+  }
+  for (const std::string& name : tap.resolved_names()) {
+    const auto parsed = DomainName::parse(name);
+    if (parsed && index.is_disposable(*parsed)) ++agg.disposable_resolved;
+  }
+  for (const auto& [key, counts] : tap.chr().entries()) {
+    const auto parsed = DomainName::parse(key.name);
+    if (parsed && index.is_disposable(*parsed)) ++agg.disposable_rrs;
+  }
+  return result;
+}
+
+}  // namespace dnsnoise

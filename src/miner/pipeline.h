@@ -1,0 +1,69 @@
+// End-to-end daily mining pipeline (paper Fig. 10): traffic -> RDNS cluster
+// -> monitoring tap -> domain name tree + CHR -> classifier -> ranked
+// disposable zones.  This is the orchestration the examples and benches
+// build on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "miner/algorithm1.h"
+#include "miner/day_capture.h"
+#include "miner/evaluate.h"
+#include "miner/labeler.h"
+#include "ml/lad_tree.h"
+#include "workload/scenario.h"
+
+namespace dnsnoise {
+
+struct PipelineOptions {
+  ScenarioScale scale;
+  ClusterConfig cluster;
+  LabelerConfig labeler;
+  MinerConfig miner;
+  LadTreeConfig model;
+  /// When set, run_mining_day mines with this already-trained classifier
+  /// instead of training a fresh one from the day's labels — the paper's
+  /// actual protocol (one model, applied across the 11-month campaign).
+  /// Must outlive the call.
+  const BinaryClassifier* pretrained = nullptr;
+  /// Run a reduced-volume warmup day first so caches reach steady state.
+  bool warmup = true;
+  double warmup_volume_fraction = 0.5;
+  DayCaptureConfig capture;
+};
+
+/// Per-date aggregates used by the growth figures (Fig. 13, Tables I/II).
+struct DayAggregates {
+  std::size_t unique_queried = 0;
+  std::size_t unique_resolved = 0;
+  std::size_t unique_rrs = 0;
+  std::size_t disposable_queried = 0;   // per mined findings
+  std::size_t disposable_resolved = 0;
+  std::size_t disposable_rrs = 0;
+};
+
+struct MiningDayResult {
+  std::vector<LabeledZone> labeled;
+  std::vector<DisposableZoneFinding> findings;
+  MiningEvaluation evaluation;
+  DayAggregates aggregates;
+};
+
+/// Runs one full mining day for `date`: simulate, label, train a fresh LAD
+/// tree, run Algorithm 1, evaluate against ground truth, and compute the
+/// day's disposable-share aggregates.  `capture`, when provided, receives
+/// the day's tap data for further analysis (it is start_day()-reset first).
+MiningDayResult run_mining_day(ScenarioDate date,
+                               const PipelineOptions& options = {},
+                               DayCapture* capture = nullptr);
+
+/// Simulates one day of `scenario` traffic into `capture` (with optional
+/// warmup day at reduced volume), without mining.  Returns the cluster's
+/// aggregate cache stats.
+DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
+                           const PipelineOptions& options,
+                           std::int64_t day_index);
+
+}  // namespace dnsnoise

@@ -1,0 +1,265 @@
+#include "ml/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsnoise {
+
+namespace {
+constexpr double kVarianceFloor = 1e-9;
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Standardizer
+
+void Standardizer::fit(const Dataset& data) {
+  const std::size_t dim = data.dim();
+  mean_.assign(dim, 0.0);
+  inv_std_.assign(dim, 1.0);
+  if (data.size() == 0) return;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.features(i);
+    for (std::size_t d = 0; d < dim; ++d) mean_[d] += x[d];
+  }
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(dim, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.features(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = x[d] - mean_[d];
+      var[d] += delta * delta;
+    }
+  }
+  for (std::size_t d = 0; d < dim; ++d) {
+    inv_std_[d] =
+        1.0 / std::sqrt(std::max(var[d] / static_cast<double>(data.size()),
+                                 kVarianceFloor));
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> x) const {
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("Standardizer: dimension mismatch");
+  }
+  std::vector<double> out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    out[d] = (x[d] - mean_[d]) * inv_std_[d];
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// GaussianNaiveBayes
+
+void GaussianNaiveBayes::train(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("NB: empty dataset");
+  dim_ = data.dim();
+  std::size_t counts[2] = {0, 0};
+  for (ClassModel& model : models_) {
+    model.mean.assign(dim_, 0.0);
+    model.var.assign(dim_, 0.0);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int y = data.label(i);
+    ++counts[y];
+    const auto x = data.features(i);
+    for (std::size_t d = 0; d < dim_; ++d) models_[y].mean[d] += x[d];
+  }
+  for (int y = 0; y < 2; ++y) {
+    const double n = std::max<double>(static_cast<double>(counts[y]), 1.0);
+    for (double& m : models_[y].mean) m /= n;
+    models_[y].log_prior =
+        std::log((static_cast<double>(counts[y]) + 1.0) /
+                 (static_cast<double>(data.size()) + 2.0));
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int y = data.label(i);
+    const auto x = data.features(i);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double delta = x[d] - models_[y].mean[d];
+      models_[y].var[d] += delta * delta;
+    }
+  }
+  for (int y = 0; y < 2; ++y) {
+    const double n = std::max<double>(static_cast<double>(counts[y]), 1.0);
+    for (double& v : models_[y].var) v = std::max(v / n, kVarianceFloor);
+  }
+}
+
+double GaussianNaiveBayes::predict_proba(std::span<const double> x) const {
+  if (x.size() != dim_) throw std::invalid_argument("NB: dimension mismatch");
+  double log_like[2];
+  for (int y = 0; y < 2; ++y) {
+    double ll = models_[y].log_prior;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double var = models_[y].var[d];
+      const double delta = x[d] - models_[y].mean[d];
+      ll += -0.5 * std::log(2.0 * 3.14159265358979323846 * var) -
+            delta * delta / (2.0 * var);
+    }
+    log_like[y] = ll;
+  }
+  const double max_ll = std::max(log_like[0], log_like[1]);
+  const double exp0 = std::exp(log_like[0] - max_ll);
+  const double exp1 = std::exp(log_like[1] - max_ll);
+  return exp1 / (exp0 + exp1);
+}
+
+// --------------------------------------------------------------------------
+// KnnClassifier
+
+void KnnClassifier::train(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("kNN: empty dataset");
+  standardizer_.fit(data);
+  dim_ = data.dim();
+  points_.clear();
+  labels_.clear();
+  points_.reserve(data.size() * dim_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::vector<double> z = standardizer_.transform(data.features(i));
+    points_.insert(points_.end(), z.begin(), z.end());
+    labels_.push_back(data.label(i));
+  }
+}
+
+double KnnClassifier::predict_proba(std::span<const double> x) const {
+  if (labels_.empty()) throw std::logic_error("kNN: not trained");
+  const std::vector<double> z = standardizer_.transform(x);
+  std::vector<std::pair<double, int>> distances;  // (squared dist, label)
+  distances.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double delta = points_[i * dim_ + d] - z[d];
+      dist += delta * delta;
+    }
+    distances.emplace_back(dist, labels_[i]);
+  }
+  const std::size_t k = std::min(k_, distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+  double votes = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    votes += static_cast<double>(distances[i].second);
+  }
+  // Laplace smoothing keeps scores off the 0/1 rails for ROC sweeps.
+  return (votes + 0.5) / (static_cast<double>(k) + 1.0);
+}
+
+// --------------------------------------------------------------------------
+// LogisticRegression
+
+void LogisticRegression::train(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("LR: empty dataset");
+  standardizer_.fit(data);
+  const std::size_t n = data.size();
+  const std::size_t dim = data.dim();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  std::vector<std::vector<double>> z;
+  z.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z.push_back(standardizer_.transform(data.features(i)));
+  }
+  std::vector<double> grad(dim);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double margin = bias_;
+      for (std::size_t d = 0; d < dim; ++d) margin += weights_[d] * z[i][d];
+      const double err =
+          sigmoid(margin) - static_cast<double>(data.label(i));
+      for (std::size_t d = 0; d < dim; ++d) grad[d] += err * z[i][d];
+      grad_bias += err;
+    }
+    const double scale = config_.learning_rate / static_cast<double>(n);
+    for (std::size_t d = 0; d < dim; ++d) {
+      weights_[d] -= scale * (grad[d] + config_.l2 * weights_[d]);
+    }
+    bias_ -= scale * grad_bias;
+  }
+}
+
+double LogisticRegression::predict_proba(std::span<const double> x) const {
+  const std::vector<double> z = standardizer_.transform(x);
+  double margin = bias_;
+  for (std::size_t d = 0; d < z.size(); ++d) margin += weights_[d] * z[d];
+  return sigmoid(margin);
+}
+
+// --------------------------------------------------------------------------
+// Mlp
+
+void Mlp::train(const Dataset& data) {
+  if (data.size() == 0) throw std::invalid_argument("MLP: empty dataset");
+  standardizer_.fit(data);
+  dim_ = data.dim();
+  const std::size_t h = config_.hidden;
+  Rng rng(config_.seed);
+  auto init = [&rng] { return rng.uniform(-0.3, 0.3); };
+  w1_.resize(h * dim_);
+  b1_.assign(h, 0.0);
+  w2_.resize(h);
+  b2_ = 0.0;
+  for (double& w : w1_) w = init();
+  for (double& w : w2_) w = init();
+
+  std::vector<std::vector<double>> z;
+  z.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    z.push_back(standardizer_.transform(data.features(i)));
+  }
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> hidden(h);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle for SGD.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const std::size_t i : order) {
+      const std::vector<double>& input = z[i];
+      for (std::size_t j = 0; j < h; ++j) {
+        double sum = b1_[j];
+        for (std::size_t d = 0; d < dim_; ++d) {
+          sum += w1_[j * dim_ + d] * input[d];
+        }
+        hidden[j] = std::tanh(sum);
+      }
+      double out = b2_;
+      for (std::size_t j = 0; j < h; ++j) out += w2_[j] * hidden[j];
+      const double err =
+          sigmoid(out) - static_cast<double>(data.label(i));
+      const double lr = config_.learning_rate;
+      for (std::size_t j = 0; j < h; ++j) {
+        const double grad_hidden =
+            err * w2_[j] * (1.0 - hidden[j] * hidden[j]);
+        w2_[j] -= lr * err * hidden[j];
+        for (std::size_t d = 0; d < dim_; ++d) {
+          w1_[j * dim_ + d] -= lr * grad_hidden * input[d];
+        }
+        b1_[j] -= lr * grad_hidden;
+      }
+      b2_ -= lr * err;
+    }
+  }
+}
+
+double Mlp::predict_proba(std::span<const double> x) const {
+  const std::vector<double> z = standardizer_.transform(x);
+  double out = b2_;
+  for (std::size_t j = 0; j < config_.hidden; ++j) {
+    double sum = b1_[j];
+    for (std::size_t d = 0; d < dim_; ++d) sum += w1_[j * dim_ + d] * z[d];
+    out += w2_[j] * std::tanh(sum);
+  }
+  return sigmoid(out);
+}
+
+}  // namespace dnsnoise

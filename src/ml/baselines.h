@@ -1,0 +1,101 @@
+// The model-selection comparators from Section V-C: Gaussian naive Bayes,
+// k-nearest-neighbours, logistic regression and a small neural network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+/// Per-feature z-score standardizer shared by the distance/gradient models.
+class Standardizer {
+ public:
+  void fit(const Dataset& data);
+  std::vector<double> transform(std::span<const double> x) const;
+  std::size_t dim() const noexcept { return mean_.size(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+class GaussianNaiveBayes final : public BinaryClassifier {
+ public:
+  void train(const Dataset& data) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::string_view name() const noexcept override { return "naive-bayes"; }
+
+ private:
+  struct ClassModel {
+    double log_prior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> var;
+  };
+  ClassModel models_[2];
+  std::size_t dim_ = 0;
+};
+
+class KnnClassifier final : public BinaryClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+  void train(const Dataset& data) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::string_view name() const noexcept override { return "knn"; }
+
+ private:
+  std::size_t k_;
+  Standardizer standardizer_;
+  std::vector<double> points_;  // flat standardized features
+  std::vector<int> labels_;
+  std::size_t dim_ = 0;
+};
+
+struct LogisticConfig {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  std::size_t epochs = 400;
+};
+
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+  void train(const Dataset& data) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::string_view name() const noexcept override { return "logistic"; }
+
+ private:
+  LogisticConfig config_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+struct MlpConfig {
+  std::size_t hidden = 16;
+  double learning_rate = 0.05;
+  std::size_t epochs = 300;
+  std::uint64_t seed = 17;
+};
+
+/// One-hidden-layer tanh network with sigmoid output, SGD-trained.
+class Mlp final : public BinaryClassifier {
+ public:
+  explicit Mlp(MlpConfig config = {}) : config_(config) {}
+  void train(const Dataset& data) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::string_view name() const noexcept override { return "mlp"; }
+
+ private:
+  MlpConfig config_;
+  Standardizer standardizer_;
+  std::size_t dim_ = 0;
+  std::vector<double> w1_;  // hidden x dim
+  std::vector<double> b1_;  // hidden
+  std::vector<double> w2_;  // hidden
+  double b2_ = 0.0;
+};
+
+}  // namespace dnsnoise

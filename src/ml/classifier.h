@@ -1,0 +1,31 @@
+// Binary classifier interface used by the disposable zone miner and the
+// model-selection study (Section V-C: LAD tree chosen over naive Bayes,
+// nearest neighbours, neural networks and logistic regression).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "ml/dataset.h"
+
+namespace dnsnoise {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  virtual void train(const Dataset& data) = 0;
+
+  /// P(label == 1 | x).  Must only be called after train().
+  virtual double predict_proba(std::span<const double> x) const = 0;
+
+  virtual std::string_view name() const noexcept = 0;
+};
+
+/// Produces a fresh untrained classifier (cross-validation trains one per
+/// fold).
+using ClassifierFactory = std::function<std::unique_ptr<BinaryClassifier>()>;
+
+}  // namespace dnsnoise

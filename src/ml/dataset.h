@@ -1,0 +1,55 @@
+// Flat dense dataset for binary classification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dnsnoise {
+
+class Dataset {
+ public:
+  explicit Dataset(std::size_t dim) : dim_(dim) {
+    if (dim == 0) throw std::invalid_argument("Dataset: dim must be > 0");
+  }
+
+  void add(std::span<const double> features, int label) {
+    if (features.size() != dim_) {
+      throw std::invalid_argument("Dataset: feature dimension mismatch");
+    }
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("Dataset: label must be 0 or 1");
+    }
+    data_.insert(data_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+  }
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+
+  std::span<const double> features(std::size_t i) const {
+    return std::span<const double>(data_).subspan(i * dim_, dim_);
+  }
+  int label(std::size_t i) const { return labels_.at(i); }
+
+  std::size_t positives() const noexcept {
+    std::size_t n = 0;
+    for (const int y : labels_) n += static_cast<std::size_t>(y);
+    return n;
+  }
+
+  /// Subset by sample indices.
+  Dataset subset(std::span<const std::size_t> indices) const {
+    Dataset out(dim_);
+    for (const std::size_t i : indices) out.add(features(i), label(i));
+    return out;
+  }
+
+ private:
+  std::size_t dim_;
+  std::vector<double> data_;
+  std::vector<int> labels_;
+};
+
+}  // namespace dnsnoise

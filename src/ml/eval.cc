@@ -1,0 +1,120 @@
+#include "ml/eval.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+Confusion confusion_at(std::span<const double> scores,
+                       std::span<const int> labels, double threshold) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("confusion_at: size mismatch");
+  }
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      predicted ? ++c.tp : ++c.fn;
+    } else {
+      predicted ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_curve: size mismatch");
+  }
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(scores.size());
+  std::uint64_t positives = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    ranked.emplace_back(scores[i], labels[i]);
+    positives += static_cast<std::uint64_t>(labels[i]);
+  }
+  const std::uint64_t negatives = ranked.size() - positives;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({1.0 + (ranked.empty() ? 0.0 : ranked.front().first), 0.0,
+                   0.0});
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].second == 1) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only after the last sample of a score tie.
+    if (i + 1 < ranked.size() && ranked[i + 1].first == ranked[i].first) {
+      continue;
+    }
+    RocPoint point;
+    point.threshold = ranked[i].first;
+    point.tpr = positives == 0 ? 0.0
+                               : static_cast<double>(tp) /
+                                     static_cast<double>(positives);
+    point.fpr = negatives == 0 ? 0.0
+                               : static_cast<double>(fp) /
+                                     static_cast<double>(negatives);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double auc(std::span<const RocPoint> curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double width = curve[i].fpr - curve[i - 1].fpr;
+    area += width * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+std::vector<double> cross_val_scores(const Dataset& data,
+                                     const ClassifierFactory& factory,
+                                     std::size_t folds, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("cross_val: folds must be >= 2");
+  const std::size_t n = data.size();
+  if (n < folds) throw std::invalid_argument("cross_val: too few samples");
+
+  // Stratified fold assignment: shuffle within each class, deal round-robin.
+  Rng rng(seed);
+  std::vector<std::size_t> fold_of(n);
+  for (int klass = 0; klass < 2; ++klass) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data.label(i) == klass) members.push_back(i);
+    }
+    for (std::size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.below(i)]);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      fold_of[members[i]] = i % folds;
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      (fold_of[i] == fold ? test_idx : train_idx).push_back(i);
+    }
+    const Dataset train = data.subset(train_idx);
+    const std::unique_ptr<BinaryClassifier> model = factory();
+    model->train(train);
+    for (const std::size_t i : test_idx) {
+      scores[i] = model->predict_proba(data.features(i));
+    }
+  }
+  return scores;
+}
+
+}  // namespace dnsnoise

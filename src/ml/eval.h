@@ -1,0 +1,67 @@
+// Evaluation tooling: confusion metrics, ROC/AUC, stratified k-fold
+// cross-validation — the paper's Section V-C protocol (10-fold CV, ROC of
+// the disposable class, TPR/FPR at thresholds 0.5 and 0.9).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace dnsnoise {
+
+struct Confusion {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  double tpr() const noexcept {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double fpr() const noexcept {
+    return fp + tn == 0 ? 0.0
+                        : static_cast<double>(fp) /
+                              static_cast<double>(fp + tn);
+  }
+  double accuracy() const noexcept {
+    const std::uint64_t total = tp + fp + tn + fn;
+    return total == 0 ? 0.0
+                      : static_cast<double>(tp + tn) /
+                            static_cast<double>(total);
+  }
+  double precision() const noexcept {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+};
+
+/// Confusion at a score threshold (score >= threshold => predicted 1).
+Confusion confusion_at(std::span<const double> scores,
+                       std::span<const int> labels, double threshold);
+
+struct RocPoint {
+  double threshold = 0.0;
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+/// ROC curve over all distinct score thresholds, ordered by increasing FPR
+/// (starts at (0,0), ends at (1,1)).
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels);
+
+/// Area under the ROC curve (trapezoidal).
+double auc(std::span<const RocPoint> curve);
+
+/// Stratified k-fold cross-validation.  Returns out-of-fold scores aligned
+/// with the dataset's sample order.
+std::vector<double> cross_val_scores(const Dataset& data,
+                                     const ClassifierFactory& factory,
+                                     std::size_t folds, std::uint64_t seed);
+
+}  // namespace dnsnoise

@@ -1,0 +1,79 @@
+#include "netio/capture.h"
+
+#include "dns/wire.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+namespace {
+constexpr std::uint16_t kDnsPort = 53;
+}
+
+CaptureDecoder::CaptureDecoder(std::vector<Ipv4> resolver_ips,
+                               std::uint64_t anonymization_salt)
+    : salt_(anonymization_salt) {
+  for (const Ipv4 ip : resolver_ips) resolver_ips_.insert(ip.value);
+}
+
+bool CaptureDecoder::is_resolver(const Endpoint& ep) const noexcept {
+  return !ep.is_v6 && resolver_ips_.contains(ep.v4.value);
+}
+
+std::optional<TapEvent> CaptureDecoder::decode(
+    SimTime ts, std::span<const std::uint8_t> frame) {
+  const auto pkt = parse_frame(frame);
+  if (!pkt) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  // DNS responses are sourced from port 53 (RDNS answering a stub, or an
+  // authority answering the RDNS).
+  if (pkt->src.port != kDnsPort) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  auto msg = decode_message(pkt->payload);
+  if (!msg || !msg->header.qr) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  TapEvent event;
+  event.ts = ts;
+  if (is_resolver(pkt->src)) {
+    event.direction = TapDirection::kBelow;
+    event.client_id = mix64(std::uint64_t{pkt->dst.v4.value} ^ salt_);
+  } else if (is_resolver(pkt->dst)) {
+    event.direction = TapDirection::kAbove;
+    event.client_id = 0;
+  } else {
+    ++dropped_;
+    return std::nullopt;
+  }
+  event.message = std::move(*msg);
+  ++accepted_;
+  return event;
+}
+
+std::size_t CaptureDecoder::decode_pcap(
+    std::span<const std::uint8_t> pcap_bytes,
+    const std::function<void(const TapEvent&)>& sink) {
+  PcapReader reader(pcap_bytes);
+  std::size_t produced = 0;
+  while (auto record = reader.next_view()) {
+    auto event = decode(static_cast<SimTime>(record->ts_sec), record->data);
+    if (event) {
+      sink(*event);
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+std::vector<std::uint8_t> build_dns_frame(Ipv4 src_ip, std::uint16_t src_port,
+                                          Ipv4 dst_ip, std::uint16_t dst_port,
+                                          const DnsMessage& msg) {
+  const std::vector<std::uint8_t> payload = encode_message(msg);
+  return build_udp4_frame(src_ip, src_port, dst_ip, dst_port, payload);
+}
+
+}  // namespace dnsnoise

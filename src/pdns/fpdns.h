@@ -1,0 +1,72 @@
+// Full passive DNS (fpDNS) dataset.
+//
+// Mirrors the paper's Section III-A: each entry is one answer resource
+// record observed at the monitoring point — timestamp (second granularity),
+// anonymized client ID, queried name, query type, TTL and RDATA — plus the
+// tap direction and rcode so the traffic-volume analyses (Fig. 2) can
+// separate below/above and NXDOMAIN streams.  NXDOMAIN responses carry no
+// RRs and are stored as a single empty-rdata entry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise {
+
+/// Tap side; duplicated from netio to keep pdns independent of the packet
+/// stack (the two enums convert by value).
+enum class FpDirection : std::uint8_t {
+  kBelow = 0,
+  kAbove = 1,
+};
+
+struct FpDnsEntry {
+  SimTime ts = 0;
+  std::uint64_t client_id = 0;  // 0 for above-tap entries
+  FpDirection direction = FpDirection::kBelow;
+  RCode rcode = RCode::NoError;
+  std::string qname;
+  RRType qtype = RRType::A;
+  std::uint32_t ttl = 0;
+  std::string rdata;  // empty for unsuccessful resolutions
+
+  bool successful() const noexcept { return rcode == RCode::NoError; }
+
+  friend bool operator==(const FpDnsEntry&, const FpDnsEntry&) = default;
+};
+
+/// In-memory fpDNS dataset with binary (de)serialization.
+class FpDnsDataset {
+ public:
+  void add(FpDnsEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Appends one entry per answer RR of a response (or a single NXDOMAIN
+  /// entry), the paper's flattening of responses into RR tuples.
+  void add_response(SimTime ts, std::uint64_t client_id,
+                    FpDirection direction, const Question& question,
+                    RCode rcode, std::span<const ResourceRecord> answers);
+
+  std::span<const FpDnsEntry> entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Binary serialization (little-endian, length-prefixed strings).
+  std::vector<std::uint8_t> serialize() const;
+  static FpDnsDataset deserialize(std::span<const std::uint8_t> bytes);
+
+  void save(const std::string& path) const;
+  static FpDnsDataset load(const std::string& path);
+
+ private:
+  std::vector<FpDnsEntry> entries_;
+};
+
+}  // namespace dnsnoise

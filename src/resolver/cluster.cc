@@ -1,0 +1,93 @@
+#include "resolver/cluster.h"
+
+namespace dnsnoise {
+
+RdnsCluster::RdnsCluster(const ClusterConfig& config,
+                         const SyntheticAuthority& authority)
+    : authority_(authority),
+      balancing_(config.balancing),
+      rng_(config.seed) {
+  if (config.server_count == 0) {
+    throw std::invalid_argument("RdnsCluster: server_count must be > 0");
+  }
+  caches_.reserve(config.server_count);
+  for (std::size_t i = 0; i < config.server_count; ++i) {
+    caches_.emplace_back(config.cache);
+  }
+}
+
+std::size_t RdnsCluster::pick_server(std::uint64_t client_id) {
+  switch (balancing_) {
+    case Balancing::kClientHash:
+      return static_cast<std::size_t>(mix64(client_id) % caches_.size());
+    case Balancing::kRandom:
+      return static_cast<std::size_t>(rng_.below(caches_.size()));
+    case Balancing::kRoundRobin: {
+      const std::size_t server = round_robin_next_;
+      round_robin_next_ = (round_robin_next_ + 1) % caches_.size();
+      return server;
+    }
+  }
+  return 0;
+}
+
+QueryOutcome RdnsCluster::query(std::uint64_t client_id,
+                                const Question& question, SimTime now) {
+  QueryOutcome outcome;
+  outcome.server = pick_server(client_id);
+  DnsCache& cache = caches_[outcome.server];
+  const QuestionKey key{question.name.text(), question.type};
+
+  if (const CachedAnswer* cached = cache.lookup(key, now)) {
+    outcome.rcode = cached->rcode;
+    outcome.cache_hit = true;
+    outcome.answers = cached->answers;
+  } else {
+    // Cache miss: iterate to the authority; its answer is observed above.
+    const AuthorityAnswer upstream = authority_.resolve(question, now);
+    outcome.rcode = upstream.rcode;
+    outcome.answers = upstream.answers;
+    ++above_answers_;
+    if (upstream.rcode == RCode::NoError) {
+      ++answered_misses_;
+      if (upstream.disposable_zone) ++disposable_answered_misses_;
+    }
+    if (upstream.dnssec_signed && upstream.rcode == RCode::NoError) {
+      ++dnssec_validations_;
+      if (upstream.disposable_zone) ++dnssec_disposable_validations_;
+    }
+    if (above_sink_) {
+      above_sink_(now, question, upstream.rcode, upstream.answers);
+    }
+    if (upstream.rcode == RCode::NoError) {
+      cache.insert_positive(key, upstream.answers, now,
+                            upstream.disposable_zone);
+    } else if (upstream.rcode == RCode::NXDomain) {
+      cache.insert_negative(key, now);
+    }
+  }
+
+  ++below_answers_;
+  if (below_sink_) {
+    below_sink_(now, client_id, question, outcome.rcode, outcome.answers);
+  }
+  return outcome;
+}
+
+DnsCacheStats RdnsCluster::aggregate_stats() const {
+  DnsCacheStats total;
+  for (const DnsCache& cache : caches_) {
+    const DnsCacheStats& s = cache.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.expired_misses += s.expired_misses;
+    total.inserts += s.inserts;
+    total.evictions += s.evictions;
+    total.premature_evictions += s.premature_evictions;
+    total.premature_nondisposable_evictions +=
+        s.premature_nondisposable_evictions;
+  }
+  return total;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,116 @@
+// Recursive DNS server cluster simulator.
+//
+// Reproduces the paper's vantage point (Section III-A): client queries are
+// load-balanced across a cluster of recursive servers, each with an
+// independent cache.  Observers can subscribe to the two answer streams the
+// monitoring tap records — "below" (server -> client) and "above"
+// (authority -> server) — and to nothing else, exactly like the paper's
+// black-box view.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dns/message.h"
+#include "resolver/authority.h"
+#include "resolver/dns_cache.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise {
+
+/// How client queries are spread over the cluster.
+enum class Balancing : std::uint8_t {
+  kClientHash,  // sticky: hash(client) -> server (typical anycast/LB setup)
+  kRandom,      // independent per query
+  kRoundRobin,
+};
+
+struct ClusterConfig {
+  std::size_t server_count = 4;
+  Balancing balancing = Balancing::kClientHash;
+  DnsCacheConfig cache;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one client query, as seen below the cluster.
+struct QueryOutcome {
+  RCode rcode = RCode::NoError;
+  bool cache_hit = false;
+  std::size_t server = 0;
+  std::vector<ResourceRecord> answers;
+};
+
+class RdnsCluster {
+ public:
+  /// `authority` must outlive the cluster.
+  RdnsCluster(const ClusterConfig& config, const SyntheticAuthority& authority);
+
+  /// Answer stream below the cluster (every answered client query).
+  using BelowSink =
+      std::function<void(SimTime, std::uint64_t client_id, const Question&,
+                         RCode, std::span<const ResourceRecord>)>;
+  /// Answer stream above the cluster (authority answers on cache misses).
+  using AboveSink = std::function<void(SimTime, const Question&, RCode,
+                                       std::span<const ResourceRecord>)>;
+
+  void set_below_sink(BelowSink sink) { below_sink_ = std::move(sink); }
+  void set_above_sink(AboveSink sink) { above_sink_ = std::move(sink); }
+
+  /// Resolves one client query at simulated time `now`.
+  QueryOutcome query(std::uint64_t client_id, const Question& question,
+                     SimTime now);
+
+  std::size_t server_count() const noexcept { return caches_.size(); }
+  const DnsCacheStats& server_stats(std::size_t server) const {
+    return caches_.at(server).stats();
+  }
+  const DnsCache& server_cache(std::size_t server) const {
+    return caches_.at(server);
+  }
+
+  /// Cluster-wide aggregate of the per-server cache stats.
+  DnsCacheStats aggregate_stats() const;
+
+  std::uint64_t below_answers() const noexcept { return below_answers_; }
+  std::uint64_t above_answers() const noexcept { return above_answers_; }
+
+  /// DNSSEC cost counters (Section VI-B): every cache miss against a signed
+  /// zone forces the validating resolver to verify one RRSIG chain; misses
+  /// for disposable names are validations whose result is never reused.
+  std::uint64_t dnssec_validations() const noexcept {
+    return dnssec_validations_;
+  }
+  std::uint64_t dnssec_disposable_validations() const noexcept {
+    return dnssec_disposable_validations_;
+  }
+
+  /// Successful cache misses (answered upstream), total and disposable:
+  /// under *universal* DNSSEC deployment every such miss costs one
+  /// validation, so these drive the Section VI-B what-if analysis.
+  std::uint64_t answered_misses() const noexcept { return answered_misses_; }
+  std::uint64_t disposable_answered_misses() const noexcept {
+    return disposable_answered_misses_;
+  }
+
+ private:
+  const SyntheticAuthority& authority_;
+  Balancing balancing_;
+  std::vector<DnsCache> caches_;
+  Rng rng_;
+  std::size_t round_robin_next_ = 0;
+  BelowSink below_sink_;
+  AboveSink above_sink_;
+  std::uint64_t below_answers_ = 0;
+  std::uint64_t above_answers_ = 0;
+  std::uint64_t dnssec_validations_ = 0;
+  std::uint64_t dnssec_disposable_validations_ = 0;
+  std::uint64_t answered_misses_ = 0;
+  std::uint64_t disposable_answered_misses_ = 0;
+
+  std::size_t pick_server(std::uint64_t client_id);
+};
+
+}  // namespace dnsnoise

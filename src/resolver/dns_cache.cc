@@ -1,0 +1,72 @@
+#include "resolver/dns_cache.h"
+
+#include <algorithm>
+
+namespace dnsnoise {
+
+DnsCache::DnsCache(const DnsCacheConfig& config)
+    : config_(config), cache_(config.capacity) {
+  cache_.set_eviction_listener(
+      [this](const QuestionKey&, const CachedAnswer& answer) {
+        ++stats_.evictions;
+        if (answer.expires > now_) {
+          ++stats_.premature_evictions;
+          if (!answer.disposable_hint) {
+            ++stats_.premature_nondisposable_evictions;
+          }
+        }
+      });
+}
+
+const CachedAnswer* DnsCache::lookup(const QuestionKey& key, SimTime now) {
+  now_ = now;
+  CachedAnswer* entry = cache_.get(key);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (entry->expires <= now) {
+    cache_.erase(key);
+    ++stats_.expired_misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return entry;
+}
+
+void DnsCache::insert_positive(const QuestionKey& key,
+                               std::vector<ResourceRecord> answers,
+                               SimTime now, bool disposable_hint) {
+  if (answers.empty()) return;
+  now_ = now;
+  std::uint32_t ttl = answers.front().ttl;
+  for (const ResourceRecord& rr : answers) ttl = std::min(ttl, rr.ttl);
+  ttl = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+  if (ttl == 0) return;  // zero-TTL answers are never cached
+  CachedAnswer entry;
+  entry.rcode = RCode::NoError;
+  entry.answers = std::move(answers);
+  entry.inserted = now;
+  entry.expires = now + ttl;
+  entry.disposable_hint = disposable_hint;
+  if (config_.low_priority_disposable && disposable_hint) {
+    cache_.put_cold(key, std::move(entry));
+  } else {
+    cache_.put(key, std::move(entry));
+  }
+  ++stats_.inserts;
+}
+
+void DnsCache::insert_negative(const QuestionKey& key, SimTime now) {
+  if (!config_.negative_cache) return;
+  now_ = now;
+  CachedAnswer entry;
+  entry.rcode = RCode::NXDomain;
+  entry.inserted = now;
+  entry.expires = now + config_.negative_ttl;
+  entry.disposable_hint = false;
+  cache_.put(key, std::move(entry));
+  ++stats_.inserts;
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,93 @@
+// TTL-aware DNS answer cache, keyed by question (qname, qtype).
+//
+// Models the cache of one recursive server: fixed-capacity LRU beneath a
+// TTL layer.  Expired entries count as misses.  Negative caching
+// (RFC 2308) is optional — the paper observes the monitored resolvers were
+// *not* honoring it, so the default is off (Section III-C1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/rr.h"
+#include "resolver/lru_cache.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise {
+
+/// A cached answer RRset (positive or negative).
+struct CachedAnswer {
+  RCode rcode = RCode::NoError;
+  std::vector<ResourceRecord> answers;
+  SimTime inserted = 0;
+  SimTime expires = 0;
+  bool disposable_hint = false;  // set by experiments that know ground truth
+};
+
+struct DnsCacheConfig {
+  std::size_t capacity = 1 << 20;
+  bool negative_cache = false;     // RFC 2308 negative caching
+  std::uint32_t negative_ttl = 300;
+  /// Some implementations clamp tiny TTLs up (paper §VI-A cites RFC 1536 /
+  /// RFC 1912 behaviour of holding records a minimum time).
+  std::uint32_t min_ttl = 0;
+  std::uint32_t max_ttl = 86400;
+  /// Section VI-A mitigation: entries flagged disposable are inserted at
+  /// the cold end of the LRU, so they never displace useful records.
+  bool low_priority_disposable = false;
+};
+
+struct DnsCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;              // absent entries
+  std::uint64_t expired_misses = 0;      // present but TTL-expired
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;           // total LRU evictions
+  std::uint64_t premature_evictions = 0; // evicted while still fresh
+  /// Premature evictions of entries *not* flagged disposable — the paper's
+  /// collateral-damage metric (useful records pushed out by noise).
+  std::uint64_t premature_nondisposable_evictions = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses + expired_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class DnsCache {
+ public:
+  explicit DnsCache(const DnsCacheConfig& config);
+
+  /// Fresh cached answer for `key`, or nullptr (miss).  Misses and hits are
+  /// tallied; expired entries are erased on access.
+  const CachedAnswer* lookup(const QuestionKey& key, SimTime now);
+
+  /// Inserts a positive answer.  TTL is the minimum TTL across `answers`,
+  /// clamped to [min_ttl, max_ttl]; an empty answer set or effective TTL of
+  /// zero is not cached.
+  void insert_positive(const QuestionKey& key,
+                       std::vector<ResourceRecord> answers, SimTime now,
+                       bool disposable_hint = false);
+
+  /// Inserts a negative (NXDOMAIN) entry if negative caching is enabled.
+  void insert_negative(const QuestionKey& key, SimTime now);
+
+  const DnsCacheStats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return cache_.size(); }
+  std::size_t capacity() const noexcept { return cache_.capacity(); }
+
+  /// Visits every resident entry (fresh or expired), MRU first.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    cache_.for_each(std::forward<Visitor>(visit));
+  }
+
+ private:
+  DnsCacheConfig config_;
+  LruCache<QuestionKey, CachedAnswer> cache_;
+  DnsCacheStats stats_;
+  SimTime now_ = 0;  // updated on every lookup/insert, read by the listener
+};
+
+}  // namespace dnsnoise

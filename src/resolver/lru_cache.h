@@ -1,0 +1,120 @@
+// Generic LRU cache with fixed capacity.
+//
+// The paper's Section VI-A assumes "a typical Least Recently Used (LRU)
+// cache implementation with a fixed memory allocation (a common
+// configuration in DNS resolvers)"; this is that cache.  An eviction
+// listener lets experiments observe *premature* evictions (entries pushed
+// out while still fresh) — the paper's predicted failure mode under heavy
+// disposable-domain load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace dnsnoise {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  using EvictionListener = std::function<void(const Key&, const Value&)>;
+
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("LruCache: capacity 0");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return index_.size(); }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Called with the (key, value) of every entry evicted by capacity
+  /// pressure (not by erase()).
+  void set_eviction_listener(EvictionListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Returns the value and marks the entry most-recently-used.
+  Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Lookup without touching recency.
+  const Value* peek(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Inserts or replaces; the entry becomes most-recently-used.  Evicts the
+  /// least-recently-used entry when at capacity.
+  void put(Key key, Value value) {
+    if (auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) evict_one();
+    order_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(order_.front().first, order_.begin());
+  }
+
+  /// Inserts or replaces at the *cold* (least-recently-used) end: the
+  /// entry becomes the first eviction candidate.  This is the mechanism
+  /// behind the paper's Section VI-A mitigation sketch — "disposable
+  /// domains could be treated with low priority".
+  void put_cold(Key key, Value value) {
+    if (auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.end(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) evict_one();
+    order_.emplace_back(std::move(key), std::move(value));
+    index_.emplace(order_.back().first, std::prev(order_.end()));
+  }
+
+  /// Removes an entry without notifying the eviction listener.
+  bool erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() noexcept {
+    order_.clear();
+    index_.clear();
+  }
+
+  /// Visits every (key, value), most-recently-used first.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const auto& [key, value] : order_) visit(key, value);
+  }
+
+ private:
+  void evict_one() {
+    auto& victim = order_.back();
+    if (listener_) listener_(victim.first, victim.second);
+    index_.erase(victim.first);
+    order_.pop_back();
+    ++evictions_;
+  }
+
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      index_;
+  std::uint64_t evictions_ = 0;
+  EvictionListener listener_;
+};
+
+}  // namespace dnsnoise

@@ -1,0 +1,32 @@
+#include "util/entropy.h"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace dnsnoise {
+
+double shannon_entropy(std::string_view s) noexcept {
+  if (s.empty()) return 0.0;
+  std::array<std::uint32_t, 256> counts{};
+  for (const char c : s) ++counts[static_cast<unsigned char>(c)];
+  const auto n = static_cast<double>(s.size());
+  double h = 0.0;
+  for (const std::uint32_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(std::string_view s) noexcept {
+  if (s.size() < 2) return 0.0;
+  const double h = shannon_entropy(s);
+  // A string of length n can have at most min(n, 256) distinct symbols.
+  const double max_symbols = static_cast<double>(s.size() < 256 ? s.size() : 256);
+  return h / std::log2(max_symbols);
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,22 @@
+// Shannon entropy of the character distribution of a string.
+//
+// The paper's tree-structure feature family (Section V-A2) is built from the
+// per-label character entropy H(l): algorithmically generated labels (hex
+// hashes, base32 digests, metric blobs) have high entropy relative to human
+// labels ("www", "mail", dictionary words).
+#pragma once
+
+#include <string_view>
+
+namespace dnsnoise {
+
+/// Shannon entropy, in bits per character, of the byte histogram of `s`.
+/// Empty strings have zero entropy.
+double shannon_entropy(std::string_view s) noexcept;
+
+/// Entropy normalised by the maximum achievable for the string's length
+/// (log2 of the number of distinct achievable symbols given length), in
+/// [0, 1].  Returns 0 for strings of length < 2.
+double normalized_entropy(std::string_view s) noexcept;
+
+}  // namespace dnsnoise

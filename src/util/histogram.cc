@@ -1,0 +1,98 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsnoise {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("LinearHistogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("LinearHistogram: bins must be > 0");
+}
+
+void LinearHistogram::add(double value, std::uint64_t weight) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double LinearHistogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return bin_lo(bin) + width / 2.0;
+}
+
+LogHistogram::LogHistogram(double max, std::size_t bins_per_decade)
+    : max_(max), bins_per_decade_(static_cast<double>(bins_per_decade)) {
+  if (max <= 1.0) throw std::invalid_argument("LogHistogram: max must be > 1");
+  if (bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: bins_per_decade must be > 0");
+  }
+  const auto nbins =
+      static_cast<std::size_t>(std::ceil(std::log10(max) * bins_per_decade_));
+  counts_.assign(std::max<std::size_t>(nbins, 1), 0);
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (value < 1.0) {
+    zero_ += weight;
+    return;
+  }
+  value = std::min(value, max_);
+  auto bin = static_cast<std::size_t>(std::log10(value) * bins_per_decade_);
+  bin = std::min(bin, counts_.size() - 1);
+  counts_[bin] += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t bin) const {
+  return std::pow(10.0, static_cast<double>(bin) / bins_per_decade_);
+}
+
+double LogHistogram::bin_hi(std::size_t bin) const {
+  return std::pow(10.0, static_cast<double>(bin + 1) / bins_per_decade_);
+}
+
+double LogHistogram::bin_center(std::size_t bin) const {
+  return std::sqrt(bin_lo(bin) * bin_hi(bin));
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || points < 2) return cdf;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  cdf.reserve(points);
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(q * (n - 1) + 0.5), sorted.size() - 1);
+    // F(x) = fraction of samples <= x at this order statistic.
+    const auto upper = std::upper_bound(sorted.begin(), sorted.end(), sorted[idx]);
+    cdf.push_back({sorted[idx],
+                   static_cast<double>(upper - sorted.begin()) / n});
+  }
+  return cdf;
+}
+
+double cdf_at(std::span<const double> values, double x) {
+  if (values.empty()) return 0.0;
+  std::size_t le = 0;
+  for (const double v : values) {
+    if (v <= x) ++le;
+  }
+  return static_cast<double>(le) / static_cast<double>(values.size());
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,67 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dnsnoise {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;  // degenerate; callers validate
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::string Rng::hex_string(std::size_t length) {
+  return string_over("0123456789abcdef", length);
+}
+
+std::string Rng::string_over(std::string_view alphabet, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(alphabet[below(alphabet.size())]);
+  }
+  return out;
+}
+
+}  // namespace dnsnoise

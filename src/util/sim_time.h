@@ -1,0 +1,32 @@
+// Simulated-time conventions.
+//
+// All timestamps in the simulator are integral seconds since the scenario
+// epoch, matching the paper's fpDNS timestamp granularity ("in the
+// granularity of seconds", Section III-A).
+#pragma once
+
+#include <cstdint>
+
+namespace dnsnoise {
+
+/// Seconds since the scenario epoch.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86400;
+
+/// Day index (0-based) of a timestamp.
+constexpr std::int64_t day_of(SimTime t) noexcept { return t / kSecondsPerDay; }
+
+/// Second within the day, in [0, 86400).
+constexpr SimTime second_of_day(SimTime t) noexcept {
+  return t % kSecondsPerDay;
+}
+
+/// Hour within the day, in [0, 24).
+constexpr int hour_of_day(SimTime t) noexcept {
+  return static_cast<int>(second_of_day(t) / kSecondsPerHour);
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsnoise {
+
+namespace {
+
+// Median of an already-sorted sample.
+double sorted_median(const std::vector<double>& sorted) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  s.median = sorted_median(sorted);
+  double ss = 0.0;
+  for (const double v : sorted) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(s.count);
+  return s;
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_median(sorted);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double fraction_below(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const double v : values) {
+    if (v < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+double fraction_equal(std::span<const double> values, double target,
+                      double eps) {
+  if (values.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const double v : values) {
+    if (std::abs(v - target) <= eps) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace dnsnoise

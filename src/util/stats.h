@@ -1,0 +1,62 @@
+// Small statistics toolkit: summary statistics over samples and an online
+// (streaming) accumulator.  Used by the feature extractor (entropy moments,
+// CHR medians) and by the analytics/measurement layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dnsnoise {
+
+/// Summary of a sample: count, min, max, mean, median, variance (population).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double variance = 0.0;
+};
+
+/// Computes the full summary of a sample.  Empty input yields a zero summary.
+Summary summarize(std::span<const double> values);
+
+/// Median of a sample (averaging the two central order statistics for even
+/// sizes).  Empty input yields 0.
+double median(std::span<const double> values);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics.  Empty input yields 0.
+double quantile(std::span<const double> values, double q);
+
+/// Fraction of values strictly below `threshold`.  Empty input yields 0.
+double fraction_below(std::span<const double> values, double threshold);
+
+/// Fraction of values equal to `target` within `eps`.
+double fraction_equal(std::span<const double> values, double target,
+                      double eps = 1e-12);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace dnsnoise

@@ -1,0 +1,86 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace dnsnoise {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+namespace {
+template <typename Range>
+std::string join_impl(const Range& parts, char sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out.push_back(sep);
+    out.append(part);
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string join(const std::vector<std::string_view>& parts, char sep) {
+  return join_impl(parts, sep);
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  return join_impl(parts, sep);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string percent(double ratio, int precision) {
+  return fixed(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace dnsnoise

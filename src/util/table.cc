@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace dnsnoise {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string ascii_bars(std::span<const std::pair<std::string, double>> series,
+                       std::size_t width) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, value] : series) {
+    const auto bar_len =
+        max_value <= 0.0
+            ? std::size_t{0}
+            : static_cast<std::size_t>(value / max_value *
+                                       static_cast<double>(width));
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(bar_len, '#') << ' ' << fixed(value, 3) << '\n';
+  }
+  return out.str();
+}
+
+std::string xy_series(std::span<const std::pair<double, double>> series,
+                      const std::string& x_name, const std::string& y_name) {
+  std::ostringstream out;
+  out << x_name << '\t' << y_name << '\n';
+  for (const auto& [x, y] : series) {
+    out << fixed(x, 6) << '\t' << fixed(y, 6) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,39 @@
+// ASCII rendering of tables and series, used by the benchmark harnesses to
+// print the paper's tables and figure series in a readable form.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnsnoise {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header separator, right-padding every cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a (label, value) series as a horizontal ASCII bar chart, scaled to
+/// `width` characters at the maximum value.  Used to sketch figure shapes in
+/// bench output.
+std::string ascii_bars(std::span<const std::pair<std::string, double>> series,
+                       std::size_t width = 50);
+
+/// Renders an (x, y) series as "x<TAB>y" lines, suitable for re-plotting.
+std::string xy_series(std::span<const std::pair<double, double>> series,
+                      const std::string& x_name, const std::string& y_name);
+
+}  // namespace dnsnoise

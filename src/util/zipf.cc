@@ -1,0 +1,33 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsnoise {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : exponent_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: exponent must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against accumulated floating point error
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace dnsnoise

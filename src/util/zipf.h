@@ -1,0 +1,41 @@
+// Zipf (discrete power-law) sampler over ranks {0, ..., n-1}.
+//
+// Popularity of non-disposable hostnames follows a heavy-tailed rank
+// distribution; the paper's "long tail" of lookup volume (Fig. 3a) emerges
+// from exactly this shape.  We precompute the CDF once (O(n)) and sample by
+// binary search (O(log n)); this is the right trade-off for our zone models,
+// whose alphabets are fixed for the lifetime of a scenario.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with exponent s (s >= 0; s == 0 is
+  /// uniform).  Probability of rank r is proportional to 1 / (r+1)^s.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Number of ranks.
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Zipf exponent used to build the sampler.
+  double exponent() const noexcept { return exponent_; }
+
+  /// Samples a rank in [0, size()).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of the given rank.
+  double pmf(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_ = 1.0;
+};
+
+}  // namespace dnsnoise

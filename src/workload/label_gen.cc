@@ -1,0 +1,85 @@
+#include "workload/label_gen.h"
+
+namespace dnsnoise {
+
+std::string MetricsLabel::generate(Rng& rng) const {
+  std::string out = tag_;
+  for (int i = 0; i < fields_; ++i) {
+    out.push_back('-');
+    out += std::to_string(rng.below(1'000'000'000));
+  }
+  if (percent_) {
+    out += "-0-p-";
+    const std::uint64_t pct = rng.below(100);
+    if (pct < 10) out.push_back('0');
+    out += std::to_string(pct);
+  }
+  return out;
+}
+
+namespace {
+
+// Service-name dictionary used to synthesize human-chosen hostnames.
+constexpr const char* kHostWords[] = {
+    "www",    "mail",   "smtp",  "imap",   "pop",    "webmail", "blog",
+    "shop",   "store",  "news",  "media",  "static", "assets",  "img",
+    "images", "video",  "cdn",   "api",    "app",    "apps",    "dev",
+    "test",   "stage",  "beta",  "admin",  "portal", "login",   "auth",
+    "secure", "vpn",    "remote", "docs",  "wiki",   "forum",   "support",
+    "help",   "status", "search", "m",     "mobile", "ftp",     "ns1",
+    "ns2",    "mx",     "chat",  "files",  "download", "update", "play",
+    "music",  "photos", "maps",  "drive",  "cloud",  "calendar", "events",
+};
+
+}  // namespace
+
+std::string human_hostname(std::size_t i) {
+  const std::size_t word_count = std::size(kHostWords);
+  if (i < word_count) return kHostWords[i];
+  // Overflow variants get a small numeric suffix ("api3", "www12").
+  return std::string(kHostWords[i % word_count]) +
+         std::to_string(i / word_count + 1);
+}
+
+std::string pseudo_word(std::uint64_t i, std::size_t min_len) {
+  static constexpr const char* kSyllables[] = {
+      "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+      "fa", "fe", "fi", "fo", "ka", "ke", "ki", "ko", "ku", "la",
+      "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na",
+      "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru", "sa",
+      "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va",
+      "ve", "vi", "vo", "za", "ze", "zi", "zo", "zu", "pa", "po",
+  };
+  constexpr std::uint64_t kBase = std::size(kSyllables);
+  // Base-syllable positional encoding: distinct i => distinct word.
+  std::string word;
+  std::uint64_t rest = i;
+  do {
+    word += kSyllables[rest % kBase];
+    rest /= kBase;
+  } while (rest != 0);
+  while (word.size() < min_len) word += kSyllables[(i / 7) % kBase];
+  return word;
+}
+
+HumanLabel::HumanLabel(std::size_t variants) {
+  pool_.reserve(variants);
+  for (std::size_t i = 0; i < variants; ++i) {
+    pool_.push_back(human_hostname(i));
+  }
+}
+
+std::string HumanLabel::generate(Rng& rng) const {
+  return pool_[rng.below(pool_.size())];
+}
+
+std::string NamePattern::generate(Rng& rng) const {
+  std::string out;
+  for (const auto& level : levels_) {
+    if (!out.empty()) out.push_back('.');
+    out += level->generate(rng);
+  }
+  return out;
+}
+
+}  // namespace dnsnoise

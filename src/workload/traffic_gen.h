@@ -1,0 +1,59 @@
+// ISP client-population traffic generator.
+//
+// Draws a time-ordered stream of (timestamp, client, query) triples for a
+// simulated day: total volume split over hours by the diurnal profile,
+// clients drawn from a Zipf activity distribution (a few heavy households,
+// a long tail of light ones), and each query delegated to a zone model
+// picked by traffic weight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/diurnal.h"
+#include "workload/zone_model.h"
+
+namespace dnsnoise {
+
+struct TrafficConfig {
+  std::uint64_t queries_per_day = 400'000;
+  std::size_t client_count = 20'000;
+  double client_zipf_s = 0.8;
+  DiurnalProfile diurnal{};
+  std::uint64_t seed = 42;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& config);
+
+  /// Adds a tenant with a relative traffic weight (> 0).
+  void add_model(std::shared_ptr<ZoneModel> model, double weight);
+
+  std::size_t model_count() const noexcept { return models_.size(); }
+  const ZoneModel& model(std::size_t i) const { return *models_.at(i); }
+
+  using QuerySink = std::function<void(SimTime ts, std::uint64_t client_id,
+                                       const QuerySpec& query)>;
+
+  /// Generates one day of queries in non-decreasing timestamp order.
+  void run_day(std::int64_t day, const QuerySink& sink);
+
+  /// Stable client ID for an activity rank (exposed for tests).
+  std::uint64_t client_id_for_rank(std::size_t rank) const noexcept;
+
+ private:
+  TrafficConfig config_;
+  Rng rng_;
+  ZipfSampler client_activity_;
+  std::vector<std::shared_ptr<ZoneModel>> models_;
+  std::vector<double> cumulative_weights_;
+
+  std::size_t pick_model();
+};
+
+}  // namespace dnsnoise

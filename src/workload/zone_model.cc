@@ -1,0 +1,209 @@
+#include "workload/zone_model.h"
+
+#include <algorithm>
+
+namespace dnsnoise {
+
+namespace {
+
+/// Deterministic pooled rdata value `idx` for a zone: disposable operators
+/// answer from a small set of signal values (e.g. McAfee's 127.0.0.0/16
+/// classification codes), so rdata cardinality is far below name
+/// cardinality.
+std::string pooled_rdata(const std::string& apex, std::size_t idx,
+                         RRType type) {
+  const std::string key = apex + "#" + std::to_string(idx);
+  return type == RRType::AAAA ? synthetic_aaaa_rdata(key)
+                              : synthetic_a_rdata(key);
+}
+
+std::size_t pool_index(std::string_view qname, std::size_t pool) {
+  return pool == 0 ? 0
+                   : static_cast<std::size_t>(mix64(fnv1a64(qname)) % pool);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// DisposableZoneModel
+
+DisposableZoneModel::DisposableZoneModel(DisposableZoneConfig config,
+                                         NamePattern pattern)
+    : config_(std::move(config)),
+      pattern_(std::move(pattern)),
+      apex_name_(config_.apex) {
+  recent_.reserve(config_.recent_window);
+}
+
+std::size_t DisposableZoneModel::name_depth() const noexcept {
+  return apex_name_.label_count() + pattern_.depth();
+}
+
+QuerySpec DisposableZoneModel::sample_query(Rng& rng) {
+  // Occasionally the generating software re-emits a recent name — the
+  // paper notes disposable names are "not strictly looked up once".
+  if (!recent_.empty() && rng.chance(config_.repeat_probability)) {
+    return {recent_[rng.below(recent_.size())], config_.qtype};
+  }
+  std::string qname = pattern_.generate(rng);
+  qname.push_back('.');
+  qname += config_.apex;
+  if (config_.recent_window > 0) {
+    if (recent_.size() < config_.recent_window) {
+      recent_.push_back(qname);
+    } else {
+      recent_[recent_next_] = qname;
+      recent_next_ = (recent_next_ + 1) % config_.recent_window;
+    }
+  }
+  return {std::move(qname), config_.qtype};
+}
+
+void DisposableZoneModel::install(SyntheticAuthority& authority) const {
+  const DisposableZoneConfig cfg = config_;
+  authority.register_zone(apex_name_, [cfg](const Question& q, SimTime) {
+    AuthorityAnswer answer;
+    answer.rcode = RCode::NoError;
+    answer.disposable_zone = true;
+    answer.dnssec_signed = cfg.dnssec_signed;
+    const std::size_t idx = pool_index(q.name.text(), cfg.rdata_pool);
+    // A round-robin set: rr_per_answer distinct records from the rdata
+    // pool.  Pooled rdata keeps zone-level rdata cardinality low (the
+    // property §VI-C's wildcard folding exploits) while every record is
+    // still a distinct (name, rdata) RR because the name is one-time.
+    const std::size_t records =
+        std::max<std::size_t>(1, std::min(cfg.rr_per_answer, cfg.rdata_pool));
+    const RRType type = q.type == RRType::AAAA ? RRType::AAAA : RRType::A;
+    for (std::size_t j = 0; j < records; ++j) {
+      ResourceRecord rr;
+      rr.name = q.name;
+      rr.type = type;
+      rr.ttl = cfg.ttl;
+      rr.rdata = pooled_rdata(cfg.apex, (idx + j) % cfg.rdata_pool, type);
+      answer.answers.push_back(std::move(rr));
+    }
+    return answer;
+  });
+}
+
+// --------------------------------------------------------------------------
+// PopularZoneModel
+
+PopularZoneModel::PopularZoneModel(PopularZoneConfig config)
+    : config_(std::move(config)),
+      popularity_(std::max<std::size_t>(config_.hostnames, 1), config_.zipf_s) {
+  hosts_.reserve(config_.hostnames);
+  // Rank 0 is the bare apex (users hit "google.com" itself most).
+  hosts_.push_back(config_.apex);
+  for (std::size_t i = 1; i < config_.hostnames; ++i) {
+    hosts_.push_back(human_hostname(i - 1) + "." + config_.apex);
+  }
+}
+
+QuerySpec PopularZoneModel::sample_query(Rng& rng) {
+  const std::size_t rank = popularity_.sample(rng);
+  const RRType qtype =
+      rng.chance(config_.aaaa_fraction) ? RRType::AAAA : RRType::A;
+  return {hosts_[std::min(rank, hosts_.size() - 1)], qtype};
+}
+
+void PopularZoneModel::install(SyntheticAuthority& authority) const {
+  authority.register_zone(
+      DomainName(config_.apex),
+      SyntheticAuthority::make_flat_a_zone(config_.ttl,
+                                           config_.dnssec_signed));
+}
+
+// --------------------------------------------------------------------------
+// CdnZoneModel
+
+CdnZoneModel::CdnZoneModel(CdnZoneConfig config)
+    : config_(std::move(config)),
+      popularity_(std::max<std::size_t>(config_.shards, 1), config_.zipf_s) {}
+
+QuerySpec CdnZoneModel::sample_query(Rng& rng) {
+  const std::size_t shard = popularity_.sample(rng);
+  return {"e" + std::to_string(shard) + "." + config_.apex, RRType::A};
+}
+
+void CdnZoneModel::install(SyntheticAuthority& authority) const {
+  authority.register_zone(DomainName(config_.apex),
+                          SyntheticAuthority::make_flat_a_zone(config_.ttl));
+}
+
+// --------------------------------------------------------------------------
+// OtherSitesModel
+
+OtherSitesModel::OtherSitesModel(OtherSitesConfig config)
+    : config_(std::move(config)),
+      popularity_(std::max<std::size_t>(config_.sites, 1), config_.zipf_s),
+      site_set_(std::make_shared<std::unordered_set<std::string>>()) {
+  site_set_->reserve(config_.sites);
+  for (std::size_t i = 0; i < config_.sites; ++i) {
+    site_set_->insert(site_domain(i));
+  }
+}
+
+std::string OtherSitesModel::site_domain(std::size_t i) const {
+  const std::string word = pseudo_word(mix64(config_.seed ^ i) % (1u << 30));
+  return word + "." + config_.tlds[i % config_.tlds.size()];
+}
+
+QuerySpec OtherSitesModel::sample_query(Rng& rng) {
+  const std::size_t site = popularity_.sample(rng);
+  const std::string domain = site_domain(site);
+  // Host index skews hard toward the site front page / www.
+  const auto host = static_cast<std::size_t>(
+      std::min<std::uint64_t>(rng.geometric(0.65),
+                              config_.max_hosts_per_site - 1));
+  if (host == 0) {
+    return {rng.chance(0.5) ? domain : "www." + domain, RRType::A};
+  }
+  return {human_hostname(host) + "." + domain, RRType::A};
+}
+
+void OtherSitesModel::install(SyntheticAuthority& authority) const {
+  for (const std::string& tld : config_.tlds) {
+    const DomainName tld_name(tld);
+    const std::size_t site_labels = tld_name.label_count() + 1;
+    auto sites = site_set_;
+    const std::uint32_t ttl = config_.ttl;
+    authority.register_zone(
+        tld_name, [sites, site_labels, ttl](const Question& q, SimTime) {
+          AuthorityAnswer answer;  // defaults to NXDOMAIN
+          if (q.name.label_count() < site_labels) return answer;
+          const std::string site(q.name.nld_view(site_labels));
+          if (!sites->contains(site)) return answer;
+          answer.rcode = RCode::NoError;
+          ResourceRecord rr;
+          rr.name = q.name;
+          rr.type = q.type == RRType::AAAA ? RRType::AAAA : RRType::A;
+          rr.ttl = ttl;
+          rr.rdata = rr.type == RRType::AAAA
+                         ? synthetic_aaaa_rdata(q.name.text())
+                         : synthetic_a_rdata(q.name.text());
+          answer.answers.push_back(std::move(rr));
+          return answer;
+        });
+  }
+}
+
+// --------------------------------------------------------------------------
+// NxdomainModel
+
+NxdomainModel::NxdomainModel(NxdomainConfig config)
+    : config_(std::move(config)) {}
+
+QuerySpec NxdomainModel::sample_query(Rng& rng) {
+  const std::size_t len =
+      config_.min_len + rng.below(config_.max_len - config_.min_len + 1);
+  std::string junk =
+      rng.string_over("abcdefghijklmnopqrstuvwxyz0123456789", len);
+  // Junk 2LDs never collide with OtherSites' digit-free pseudo-words.
+  junk[rng.below(junk.size())] = static_cast<char>('0' + rng.below(10));
+  std::string qname = junk + "." + config_.tlds[rng.below(config_.tlds.size())];
+  if (rng.chance(config_.www_fraction)) qname = "www." + qname;
+  return {std::move(qname), RRType::A};
+}
+
+}  // namespace dnsnoise

@@ -1,0 +1,131 @@
+#include "netio/capture.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+
+namespace dnsnoise {
+namespace {
+
+const Ipv4 kResolver1 = Ipv4::from_octets(10, 0, 0, 1);
+const Ipv4 kResolver2 = Ipv4::from_octets(10, 0, 0, 2);
+const Ipv4 kClient = Ipv4::from_octets(192, 168, 7, 7);
+const Ipv4 kAuthority = Ipv4::from_octets(203, 0, 113, 9);
+
+DnsMessage sample_answer(const char* qname) {
+  DnsMessage query = DnsMessage::make_query(1, DomainName(qname), RRType::A);
+  std::vector<ResourceRecord> answers;
+  answers.push_back({DomainName(qname), RRType::A, 60, "198.51.100.1"});
+  return DnsMessage::make_response(query, RCode::NoError, std::move(answers));
+}
+
+CaptureDecoder make_decoder() {
+  return CaptureDecoder({kResolver1, kResolver2});
+}
+
+TEST(CaptureTest, BelowDirection) {
+  auto decoder = make_decoder();
+  const auto frame = build_dns_frame(kResolver1, 53, kClient, 40000,
+                                     sample_answer("www.example.com"));
+  const auto event = decoder.decode(1234, frame);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->direction, TapDirection::kBelow);
+  EXPECT_EQ(event->ts, 1234);
+  EXPECT_NE(event->client_id, 0u);
+  ASSERT_EQ(event->message.answers.size(), 1u);
+  EXPECT_EQ(event->message.answers[0].name.text(), "www.example.com");
+}
+
+TEST(CaptureTest, AboveDirection) {
+  auto decoder = make_decoder();
+  const auto frame = build_dns_frame(kAuthority, 53, kResolver2, 33333,
+                                     sample_answer("www.example.com"));
+  const auto event = decoder.decode(99, frame);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->direction, TapDirection::kAbove);
+  EXPECT_EQ(event->client_id, 0u);
+}
+
+TEST(CaptureTest, ClientIdsAreStableAndAnonymized) {
+  auto decoder = make_decoder();
+  const auto frame = build_dns_frame(kResolver1, 53, kClient, 40000,
+                                     sample_answer("a.example.com"));
+  const auto e1 = decoder.decode(1, frame);
+  const auto e2 = decoder.decode(2, frame);
+  ASSERT_TRUE(e1);
+  ASSERT_TRUE(e2);
+  EXPECT_EQ(e1->client_id, e2->client_id);
+  // The raw client address must not be recoverable from the ID directly.
+  EXPECT_NE(e1->client_id, static_cast<std::uint64_t>(kClient.value));
+
+  // A different salt yields different IDs.
+  CaptureDecoder other({kResolver1, kResolver2}, /*anonymization_salt=*/999);
+  const auto e3 = other.decode(1, frame);
+  ASSERT_TRUE(e3);
+  EXPECT_NE(e3->client_id, e1->client_id);
+}
+
+TEST(CaptureTest, DropsQueries) {
+  auto decoder = make_decoder();
+  const DnsMessage query =
+      DnsMessage::make_query(5, DomainName("q.example.com"), RRType::A);
+  const auto frame = build_dns_frame(kResolver1, 53, kClient, 40000, query);
+  EXPECT_FALSE(decoder.decode(1, frame));
+  EXPECT_EQ(decoder.dropped(), 1u);
+}
+
+TEST(CaptureTest, DropsWrongPort) {
+  auto decoder = make_decoder();
+  const auto frame = build_dns_frame(kResolver1, 8080, kClient, 40000,
+                                     sample_answer("x.example.com"));
+  EXPECT_FALSE(decoder.decode(1, frame));
+}
+
+TEST(CaptureTest, DropsUnrelatedHosts) {
+  auto decoder = make_decoder();
+  const auto frame = build_dns_frame(kAuthority, 53, kClient, 40000,
+                                     sample_answer("x.example.com"));
+  EXPECT_FALSE(decoder.decode(1, frame));
+}
+
+TEST(CaptureTest, DropsGarbagePayload) {
+  auto decoder = make_decoder();
+  const std::vector<std::uint8_t> junk = {1, 2, 3};
+  const auto frame = build_udp4_frame(kResolver1, 53, kClient, 40000, junk);
+  EXPECT_FALSE(decoder.decode(1, frame));
+  EXPECT_EQ(decoder.dropped(), 1u);
+  EXPECT_EQ(decoder.accepted(), 0u);
+}
+
+TEST(CaptureTest, PcapEndToEnd) {
+  // Write a pcap with a mixture of frames; decode_pcap must yield exactly
+  // the DNS responses touching the cluster.
+  PcapWriter writer;
+  writer.write(10, 0, build_dns_frame(kResolver1, 53, kClient, 40000,
+                                      sample_answer("one.example.com")));
+  writer.write(11, 0, build_dns_frame(kAuthority, 53, kResolver1, 5353,
+                                      sample_answer("two.example.com")));
+  // Noise: a query and an unrelated response.
+  writer.write(12, 0,
+               build_dns_frame(kResolver1, 53, kClient, 40000,
+                               DnsMessage::make_query(
+                                   9, DomainName("q.example.com"), RRType::A)));
+  writer.write(13, 0, build_dns_frame(kAuthority, 53, kClient, 40000,
+                                      sample_answer("three.example.com")));
+
+  auto decoder = make_decoder();
+  std::vector<TapEvent> events;
+  const std::size_t produced = decoder.decode_pcap(
+      writer.bytes(), [&events](const TapEvent& e) { events.push_back(e); });
+  ASSERT_EQ(produced, 2u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].direction, TapDirection::kBelow);
+  EXPECT_EQ(events[0].ts, 10);
+  EXPECT_EQ(events[1].direction, TapDirection::kAbove);
+  EXPECT_EQ(events[1].message.answers[0].name.text(), "two.example.com");
+  EXPECT_EQ(decoder.accepted(), 2u);
+  EXPECT_EQ(decoder.dropped(), 2u);
+}
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,179 @@
+#include "resolver/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dnsnoise {
+namespace {
+
+Question question(const char* name) { return {DomainName(name), RRType::A}; }
+
+SyntheticAuthority make_authority() {
+  SyntheticAuthority authority;
+  authority.register_zone(DomainName("example.com"),
+                          SyntheticAuthority::make_flat_a_zone(300));
+  return authority;
+}
+
+TEST(ClusterTest, MissThenHitSameClient) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 4;
+  RdnsCluster cluster(config, authority);
+
+  const auto first = cluster.query(1, question("www.example.com"), 0);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.rcode, RCode::NoError);
+  const auto second = cluster.query(1, question("www.example.com"), 10);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.answers, first.answers);
+  EXPECT_EQ(cluster.below_answers(), 2u);
+  EXPECT_EQ(cluster.above_answers(), 1u);
+}
+
+TEST(ClusterTest, ClientHashIsSticky) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 8;
+  config.balancing = Balancing::kClientHash;
+  RdnsCluster cluster(config, authority);
+  std::set<std::size_t> servers;
+  for (int i = 0; i < 20; ++i) {
+    servers.insert(cluster.query(42, question("www.example.com"), i).server);
+  }
+  EXPECT_EQ(servers.size(), 1u);
+}
+
+TEST(ClusterTest, RoundRobinCyclesServers) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 3;
+  config.balancing = Balancing::kRoundRobin;
+  RdnsCluster cluster(config, authority);
+  std::vector<std::size_t> servers;
+  for (int i = 0; i < 6; ++i) {
+    servers.push_back(cluster.query(1, question("www.example.com"), i).server);
+  }
+  EXPECT_EQ(servers, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(ClusterTest, IndependentCachesMissIndependently) {
+  // Different servers have different caches: a round-robin client misses
+  // once per server.
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 3;
+  config.balancing = Balancing::kRoundRobin;
+  RdnsCluster cluster(config, authority);
+  for (int i = 0; i < 6; ++i) {
+    cluster.query(1, question("www.example.com"), i);
+  }
+  EXPECT_EQ(cluster.above_answers(), 3u);  // one cold miss per server
+}
+
+TEST(ClusterTest, NxdomainNotCachedByDefault) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+  for (int i = 0; i < 5; ++i) {
+    const auto outcome = cluster.query(1, question("nx.unregistered.net"), i);
+    EXPECT_EQ(outcome.rcode, RCode::NXDomain);
+    EXPECT_FALSE(outcome.cache_hit);
+  }
+  // Paper III-C1: resolvers ignoring RFC 2308 re-ask upstream every time.
+  EXPECT_EQ(cluster.above_answers(), 5u);
+}
+
+TEST(ClusterTest, NegativeCacheReducesAboveTraffic) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  config.cache.negative_cache = true;
+  config.cache.negative_ttl = 100;
+  RdnsCluster cluster(config, authority);
+  for (int i = 0; i < 5; ++i) {
+    cluster.query(1, question("nx.unregistered.net"), i);
+  }
+  EXPECT_EQ(cluster.above_answers(), 1u);
+}
+
+TEST(ClusterTest, SinksObserveBothDirections) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+
+  std::vector<std::string> below_names;
+  std::vector<std::string> above_names;
+  cluster.set_below_sink([&below_names](SimTime, std::uint64_t,
+                                        const Question& q, RCode,
+                                        std::span<const ResourceRecord>) {
+    below_names.push_back(q.name.text());
+  });
+  cluster.set_above_sink([&above_names](SimTime, const Question& q, RCode,
+                                        std::span<const ResourceRecord>) {
+    above_names.push_back(q.name.text());
+  });
+
+  cluster.query(1, question("a.example.com"), 0);   // miss
+  cluster.query(1, question("a.example.com"), 1);   // hit
+  ASSERT_EQ(below_names.size(), 2u);
+  ASSERT_EQ(above_names.size(), 1u);
+  EXPECT_EQ(above_names[0], "a.example.com");
+}
+
+TEST(ClusterTest, DnssecCountersTrackSignedMisses) {
+  SyntheticAuthority authority;
+  authority.register_zone(
+      DomainName("signed.com"),
+      SyntheticAuthority::make_flat_a_zone(300, /*dnssec_signed=*/true));
+  authority.register_zone(DomainName("plain.com"),
+                          SyntheticAuthority::make_flat_a_zone(300));
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+  cluster.query(1, question("a.signed.com"), 0);  // signed miss
+  cluster.query(1, question("a.signed.com"), 1);  // hit: no validation
+  cluster.query(1, question("a.plain.com"), 2);   // unsigned miss
+  EXPECT_EQ(cluster.dnssec_validations(), 1u);
+  EXPECT_EQ(cluster.dnssec_disposable_validations(), 0u);
+}
+
+TEST(ClusterTest, AggregateStats) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 2;
+  config.balancing = Balancing::kRoundRobin;
+  RdnsCluster cluster(config, authority);
+  cluster.query(1, question("a.example.com"), 0);
+  cluster.query(1, question("a.example.com"), 1);  // other server: miss
+  cluster.query(1, question("a.example.com"), 2);  // first server: hit
+  const DnsCacheStats stats = cluster.aggregate_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
+}
+
+TEST(ClusterTest, InvalidConfigThrows) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 0;
+  EXPECT_THROW(RdnsCluster(config, authority), std::invalid_argument);
+}
+
+TEST(ClusterTest, TtlExpiryForcesRefetch) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+  cluster.query(1, question("w.example.com"), 0);
+  cluster.query(1, question("w.example.com"), 299);  // hit (TTL 300)
+  cluster.query(1, question("w.example.com"), 300);  // expired: miss
+  EXPECT_EQ(cluster.above_answers(), 2u);
+}
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,159 @@
+#include "resolver/dns_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsnoise {
+namespace {
+
+std::vector<ResourceRecord> one_answer(const char* name, std::uint32_t ttl) {
+  return {{DomainName(name), RRType::A, ttl, "192.0.2.7"}};
+}
+
+QuestionKey key_of(const char* name) { return {name, RRType::A}; }
+
+TEST(DnsCacheTest, MissThenHit) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  const QuestionKey key = key_of("www.example.com");
+  EXPECT_EQ(cache.lookup(key, 0), nullptr);
+  cache.insert_positive(key, one_answer("www.example.com", 300), 0);
+  const CachedAnswer* hit = cache.lookup(key, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rcode, RCode::NoError);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DnsCacheTest, TtlExpiry) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  const QuestionKey key = key_of("a.example.com");
+  cache.insert_positive(key, one_answer("a.example.com", 60), 0);
+  EXPECT_NE(cache.lookup(key, 59), nullptr);
+  EXPECT_EQ(cache.lookup(key, 60), nullptr);  // expired exactly at TTL
+  EXPECT_EQ(cache.stats().expired_misses, 1u);
+  // Expired entries are erased on access.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCacheTest, ZeroTtlNotCached) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  const QuestionKey key = key_of("zero.example.com");
+  cache.insert_positive(key, one_answer("zero.example.com", 0), 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key, 0), nullptr);
+}
+
+TEST(DnsCacheTest, MinTtlClampHoldsRecordsLonger) {
+  // RFC 1536-style minimum TTL: zero-TTL records are held anyway.
+  DnsCacheConfig config;
+  config.capacity = 16;
+  config.min_ttl = 5;
+  DnsCache cache(config);
+  const QuestionKey key = key_of("clamped.example.com");
+  cache.insert_positive(key, one_answer("clamped.example.com", 0), 0);
+  EXPECT_NE(cache.lookup(key, 4), nullptr);
+  EXPECT_EQ(cache.lookup(key, 5), nullptr);
+}
+
+TEST(DnsCacheTest, MaxTtlClamp) {
+  DnsCacheConfig config;
+  config.capacity = 16;
+  config.max_ttl = 100;
+  DnsCache cache(config);
+  const QuestionKey key = key_of("huge.example.com");
+  cache.insert_positive(key, one_answer("huge.example.com", 1'000'000), 0);
+  EXPECT_NE(cache.lookup(key, 99), nullptr);
+  EXPECT_EQ(cache.lookup(key, 100), nullptr);
+}
+
+TEST(DnsCacheTest, MinTtlAcrossRRsOfSet) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  std::vector<ResourceRecord> answers = {
+      {DomainName("m.example.com"), RRType::A, 300, "192.0.2.1"},
+      {DomainName("m.example.com"), RRType::A, 30, "192.0.2.2"},
+  };
+  const QuestionKey key = key_of("m.example.com");
+  cache.insert_positive(key, std::move(answers), 0);
+  EXPECT_NE(cache.lookup(key, 29), nullptr);
+  EXPECT_EQ(cache.lookup(key, 30), nullptr);
+}
+
+TEST(DnsCacheTest, NegativeCacheDisabledByDefault) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  const QuestionKey key = key_of("nx.example.com");
+  cache.insert_negative(key, 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key, 1), nullptr);
+}
+
+TEST(DnsCacheTest, NegativeCacheEnabled) {
+  DnsCacheConfig config;
+  config.capacity = 16;
+  config.negative_cache = true;
+  config.negative_ttl = 30;
+  DnsCache cache(config);
+  const QuestionKey key = key_of("nx.example.com");
+  cache.insert_negative(key, 0);
+  const CachedAnswer* hit = cache.lookup(key, 10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rcode, RCode::NXDomain);
+  EXPECT_EQ(cache.lookup(key, 30), nullptr);
+}
+
+TEST(DnsCacheTest, PrematureEvictionAccounting) {
+  // Capacity 2: inserting a third fresh entry evicts a still-fresh one.
+  DnsCacheConfig config;
+  config.capacity = 2;
+  DnsCache cache(config);
+  cache.insert_positive(key_of("a.com"), one_answer("a.com", 1000), 0);
+  cache.insert_positive(key_of("b.com"), one_answer("b.com", 1000), 0,
+                        /*disposable_hint=*/true);
+  cache.insert_positive(key_of("c.com"), one_answer("c.com", 1000), 0);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().premature_evictions, 1u);
+  // The evicted entry ("a.com") was not disposable.
+  EXPECT_EQ(cache.stats().premature_nondisposable_evictions, 1u);
+}
+
+TEST(DnsCacheTest, ExpiredEvictionIsNotPremature) {
+  DnsCacheConfig config;
+  config.capacity = 2;
+  DnsCache cache(config);
+  cache.insert_positive(key_of("a.com"), one_answer("a.com", 10), 0);
+  cache.insert_positive(key_of("b.com"), one_answer("b.com", 1000), 0);
+  // Advance time past a.com's TTL before forcing the eviction.
+  (void)cache.lookup(key_of("b.com"), 500);
+  cache.insert_positive(key_of("c.com"), one_answer("c.com", 1000), 500);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().premature_evictions, 0u);
+}
+
+TEST(DnsCacheTest, HitRateComputation) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  const QuestionKey key = key_of("h.example.com");
+  (void)cache.lookup(key, 0);  // miss
+  cache.insert_positive(key, one_answer("h.example.com", 100), 0);
+  (void)cache.lookup(key, 1);  // hit
+  (void)cache.lookup(key, 2);  // hit
+  (void)cache.lookup(key, 3);  // hit
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.75);
+}
+
+TEST(DnsCacheTest, EmptyAnswerNotCached) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  cache.insert_positive(key_of("e.com"), {}, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCacheTest, ForEachVisitsEntries) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  cache.insert_positive(key_of("a.com"), one_answer("a.com", 100), 0);
+  cache.insert_positive(key_of("b.com"), one_answer("b.com", 100), 0);
+  std::size_t count = 0;
+  cache.for_each([&count](const QuestionKey&, const CachedAnswer&) {
+    ++count;
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,149 @@
+#include "features/domain_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dnsnoise {
+namespace {
+
+TEST(DomainTreeTest, InsertMarksOnlyExactNodeBlack) {
+  DomainNameTree tree;
+  tree.insert(DomainName("a.example.com"));
+  EXPECT_EQ(tree.black_count(), 1u);
+  EXPECT_TRUE(tree.find(DomainName("a.example.com"))->black);
+  EXPECT_FALSE(tree.find(DomainName("example.com"))->black);
+  EXPECT_FALSE(tree.find(DomainName("com"))->black);
+}
+
+TEST(DomainTreeTest, DuplicateInsertIsIdempotent) {
+  DomainNameTree tree;
+  tree.insert(DomainName("a.example.com"));
+  tree.insert(DomainName("a.example.com"));
+  EXPECT_EQ(tree.black_count(), 1u);
+}
+
+TEST(DomainTreeTest, NodeCountAndSharing) {
+  DomainNameTree tree;
+  tree.insert(DomainName("a.example.com"));
+  tree.insert(DomainName("b.example.com"));
+  // root + com + example + a + b
+  EXPECT_EQ(tree.node_count(), 5u);
+}
+
+TEST(DomainTreeTest, FindMissing) {
+  DomainNameTree tree;
+  tree.insert(DomainName("a.example.com"));
+  EXPECT_EQ(tree.find(DomainName("z.example.com")), nullptr);
+  EXPECT_EQ(tree.find(DomainName("a.example.org")), nullptr);
+}
+
+TEST(DomainTreeTest, FullNameReconstruction) {
+  DomainNameTree tree;
+  const auto& node = tree.insert(DomainName("i.1.a.example.com"));
+  EXPECT_EQ(DomainNameTree::full_name(node), "i.1.a.example.com");
+  EXPECT_EQ(DomainNameTree::full_name(tree.root()), "");
+  EXPECT_EQ(DomainNameTree::full_name(*tree.find(DomainName("com"))), "com");
+}
+
+TEST(DomainTreeTest, DepthIsLabelCount) {
+  DomainNameTree tree;
+  const auto& node = tree.insert(DomainName("i.1.a.example.com"));
+  EXPECT_EQ(node.depth, 5u);
+  EXPECT_EQ(tree.find(DomainName("example.com"))->depth, 2u);
+  EXPECT_EQ(tree.root().depth, 0u);
+}
+
+DomainNameTree paper_example_tree() {
+  // The exact example of the paper's Fig. 8.
+  DomainNameTree tree;
+  tree.insert(DomainName("a.example.com"));
+  tree.insert(DomainName("i.1.a.example.com"));
+  tree.insert(DomainName("2.a.example.com"));
+  tree.insert(DomainName("3.a.example.com"));
+  tree.insert(DomainName("4.b.example.com"));
+  tree.insert(DomainName("c.example.com"));
+  return tree;
+}
+
+TEST(DomainTreeTest, PaperFig8Groups) {
+  DomainNameTree tree = paper_example_tree();
+  auto* zone = tree.find(DomainName("example.com"));
+  ASSERT_NE(zone, nullptr);
+  const auto groups = tree.black_descendants_by_depth(*zone);
+  // G3 = {a, c}, G4 = {2.a, 3.a, 4.b}, G5 = {i.1.a}.
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at(3).size(), 2u);
+  EXPECT_EQ(groups.at(4).size(), 3u);
+  EXPECT_EQ(groups.at(5).size(), 1u);
+  std::vector<std::string> g3;
+  for (const auto* node : groups.at(3)) {
+    g3.push_back(DomainNameTree::full_name(*node));
+  }
+  std::sort(g3.begin(), g3.end());
+  EXPECT_EQ(g3, (std::vector<std::string>{"a.example.com", "c.example.com"}));
+}
+
+TEST(DomainTreeTest, DecolorMatchesPaperFig9) {
+  DomainNameTree tree = paper_example_tree();
+  auto* zone = tree.find(DomainName("example.com"));
+  auto groups = tree.black_descendants_by_depth(*zone);
+  // Decolor G3 (a.example.com, c.example.com) as the paper's example does.
+  for (auto* node : groups.at(3)) tree.decolor(*node);
+  EXPECT_EQ(tree.black_count(), 4u);
+  const auto after = tree.black_descendants_by_depth(*zone);
+  EXPECT_FALSE(after.contains(3));
+  EXPECT_EQ(after.at(4).size(), 3u);
+  // Decoloring twice is harmless.
+  tree.decolor(*tree.find(DomainName("a.example.com")));
+  EXPECT_EQ(tree.black_count(), 4u);
+}
+
+TEST(DomainTreeTest, HasBlackDescendant) {
+  DomainNameTree tree = paper_example_tree();
+  EXPECT_TRUE(DomainNameTree::has_black_descendant(
+      *tree.find(DomainName("example.com"))));
+  EXPECT_TRUE(DomainNameTree::has_black_descendant(
+      *tree.find(DomainName("a.example.com"))));
+  // c.example.com is black itself but has no black *descendants*.
+  EXPECT_FALSE(DomainNameTree::has_black_descendant(
+      *tree.find(DomainName("c.example.com"))));
+}
+
+TEST(DomainTreeTest, Effective2ldNodes) {
+  DomainNameTree tree;
+  tree.insert(DomainName("www.example.com"));
+  tree.insert(DomainName("shop.foo.co.uk"));
+  tree.insert(DomainName("x.bar.co.uk"));
+  const auto zones = tree.effective_2ld_nodes(PublicSuffixList::builtin());
+  std::vector<std::string> names;
+  for (const auto* node : zones) {
+    names.push_back(DomainNameTree::full_name(*node));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"bar.co.uk", "example.com",
+                                             "foo.co.uk"}));
+}
+
+TEST(DomainTreeTest, Effective2ldSkipsBarePublicSuffixes) {
+  DomainNameTree tree;
+  tree.insert(DomainName("com"));      // a public suffix queried directly
+  tree.insert(DomainName("a.b.com"));
+  const auto zones = tree.effective_2ld_nodes(PublicSuffixList::builtin());
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(DomainNameTree::full_name(*zones[0]), "b.com");
+}
+
+TEST(DomainTreeTest, GroupsAreScopedToTheZone) {
+  DomainNameTree tree;
+  tree.insert(DomainName("x.one.com"));
+  tree.insert(DomainName("y.two.com"));
+  auto* one = tree.find(DomainName("one.com"));
+  const auto groups = tree.black_descendants_by_depth(*one);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.at(3).size(), 1u);
+  EXPECT_EQ(DomainNameTree::full_name(*groups.at(3)[0]), "x.one.com");
+}
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,73 @@
+#include "util/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+TEST(EntropyTest, EmptyIsZero) { EXPECT_EQ(shannon_entropy(""), 0.0); }
+
+TEST(EntropyTest, SingleRepeatedCharIsZero) {
+  EXPECT_EQ(shannon_entropy("aaaaaaaa"), 0.0);
+  EXPECT_EQ(shannon_entropy("z"), 0.0);
+}
+
+TEST(EntropyTest, TwoEqualSymbolsIsOneBit) {
+  EXPECT_NEAR(shannon_entropy("abab"), 1.0, 1e-12);
+  EXPECT_NEAR(shannon_entropy("ab"), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, UniformHexIsFourBits) {
+  EXPECT_NEAR(shannon_entropy("0123456789abcdef"), 4.0, 1e-12);
+}
+
+TEST(EntropyTest, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(shannon_entropy("hello"), shannon_entropy("olleh"));
+}
+
+TEST(EntropyTest, RandomLabelsBeatHumanLabels) {
+  // The discriminative property behind the tree-structure features: hash
+  // labels carry more character entropy than service words.
+  Rng rng(1);
+  const std::string random_label = rng.hex_string(26);
+  EXPECT_GT(shannon_entropy(random_label), shannon_entropy("www"));
+  EXPECT_GT(shannon_entropy(random_label), shannon_entropy("mail"));
+  EXPECT_GT(shannon_entropy(random_label), shannon_entropy("images"));
+}
+
+TEST(EntropyTest, NormalizedShortStrings) {
+  EXPECT_EQ(normalized_entropy(""), 0.0);
+  EXPECT_EQ(normalized_entropy("a"), 0.0);
+  EXPECT_NEAR(normalized_entropy("ab"), 1.0, 1e-12);
+}
+
+class EntropyBoundsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EntropyBoundsTest, BoundsHoldForRandomStrings) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string s =
+        rng.string_over("abcdefghijklmnopqrstuvwxyz0123456789-", GetParam());
+    const double h = shannon_entropy(s);
+    EXPECT_GE(h, 0.0);
+    // Entropy is at most log2(min(length, alphabet)).
+    const double bound =
+        std::log2(static_cast<double>(std::min<std::size_t>(s.size(), 37)));
+    EXPECT_LE(h, bound + 1e-9);
+    const double hn = normalized_entropy(s);
+    EXPECT_GE(hn, 0.0);
+    EXPECT_LE(hn, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, EntropyBoundsTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 26, 63));
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,143 @@
+#include "workload/label_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+
+#include "dns/name.h"
+
+namespace dnsnoise {
+namespace {
+
+TEST(LabelGenTest, FixedLabel) {
+  const FixedLabel label("avqs");
+  Rng rng(1);
+  EXPECT_EQ(label.generate(rng), "avqs");
+  EXPECT_EQ(label.generate(rng), "avqs");
+}
+
+TEST(LabelGenTest, RandomStringAlphabets) {
+  Rng rng(2);
+  EXPECT_EQ(RandomStringLabel::hex(26)->generate(rng).size(), 26u);
+  const std::string b32 = RandomStringLabel::base32(26)->generate(rng);
+  for (const char c : b32) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+  }
+  const std::string b36 = RandomStringLabel::base36(13)->generate(rng);
+  EXPECT_EQ(b36.size(), 13u);
+}
+
+TEST(LabelGenTest, CounterLabelBounds) {
+  const CounterLabel label(100, 999);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::string s = label.generate(rng);
+    const int v = std::stoi(s);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(LabelGenTest, ChoiceLabelOnlyEmitsChoices) {
+  const ChoiceLabel label({"i1", "i2", "s1"});
+  Rng rng(4);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(label.generate(rng));
+  EXPECT_EQ(seen, (std::set<std::string>{"i1", "i2", "s1"}));
+}
+
+TEST(LabelGenTest, MetricsLabelShape) {
+  // eSoft-style: "mem-<num>-<num>-0-p-<pct>".
+  const MetricsLabel label("mem", 2, true);
+  Rng rng(5);
+  const std::regex pattern("mem-[0-9]+-[0-9]+-0-p-[0-9]{2}");
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = label.generate(rng);
+    EXPECT_TRUE(std::regex_match(s, pattern)) << s;
+  }
+}
+
+TEST(LabelGenTest, MetricsLabelNoSuffix) {
+  const MetricsLabel label("up", 1, false);
+  Rng rng(6);
+  const std::regex pattern("up-[0-9]+");
+  EXPECT_TRUE(std::regex_match(label.generate(rng), pattern));
+}
+
+TEST(LabelGenTest, OctetLabelRange) {
+  const OctetLabel label;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const int v = std::stoi(label.generate(rng));
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 255);
+  }
+}
+
+TEST(LabelGenTest, HumanLabelPoolIsBounded) {
+  const HumanLabel label(8);
+  Rng rng(8);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(label.generate(rng));
+  EXPECT_LE(seen.size(), 8u);
+  EXPECT_TRUE(seen.contains("www"));
+}
+
+TEST(LabelGenTest, HumanHostnameDeterministicAndDistinct) {
+  EXPECT_EQ(human_hostname(0), "www");
+  EXPECT_EQ(human_hostname(0), human_hostname(0));
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < 200; ++i) names.insert(human_hostname(i));
+  EXPECT_EQ(names.size(), 200u);
+}
+
+TEST(LabelGenTest, PseudoWordDeterministicAndMostlyDistinct) {
+  EXPECT_EQ(pseudo_word(123), pseudo_word(123));
+  std::set<std::string> words;
+  constexpr std::size_t kCount = 5000;
+  for (std::size_t i = 0; i < kCount; ++i) words.insert(pseudo_word(i));
+  // Base-syllable encoding with padding collides only rarely.
+  EXPECT_GT(words.size(), kCount * 99 / 100);
+  for (const std::string& w : words) {
+    EXPECT_GE(w.size(), 5u);
+    EXPECT_TRUE(DomainName::parse(w + ".com")) << w;
+  }
+}
+
+TEST(LabelGenTest, NamePatternJoinsLevels) {
+  NamePattern pattern;
+  pattern.add(std::make_unique<FixedLabel>("p2"));
+  pattern.add(std::make_unique<FixedLabel>("x"));
+  pattern.add(std::make_unique<FixedLabel>("ds"));
+  Rng rng(9);
+  EXPECT_EQ(pattern.generate(rng), "p2.x.ds");
+  EXPECT_EQ(pattern.depth(), 3u);
+}
+
+class PatternValidityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternValidityTest, GeneratedNamesAreAlwaysValidDns) {
+  // Property: every composed pattern produces parseable DNS names.
+  NamePattern pattern;
+  pattern.add(std::make_unique<MetricsLabel>("load", 0, true));
+  pattern.add(std::make_unique<MetricsLabel>("swap", 2, true));
+  pattern.add(RandomStringLabel::base32(26));
+  pattern.add(std::make_unique<CounterLabel>(1, 4'000'000'000ULL));
+  pattern.add(std::make_unique<OctetLabel>());
+  pattern.add(std::make_unique<ChoiceLabel>(
+      std::vector<std::string>{"ds", "v4"}));
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string child = pattern.generate(rng);
+    const auto name = DomainName::parse(child + ".zone.example.com");
+    ASSERT_TRUE(name) << child;
+    EXPECT_EQ(name->label_count(), 6u + 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternValidityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,173 @@
+#include "ml/lad_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/eval.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+/// Two well-separated 2D Gaussian blobs.
+Dataset blobs(std::uint64_t seed, std::size_t per_class = 100) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const double x0[2] = {rng.normal(-2.0, 0.5), rng.normal(-2.0, 0.5)};
+    data.add(x0, 0);
+    const double x1[2] = {rng.normal(2.0, 0.5), rng.normal(2.0, 0.5)};
+    data.add(x1, 1);
+  }
+  return data;
+}
+
+/// Axis-aligned XOR: requires nested splits — a boosted-stump model cannot
+/// express it, an alternating decision tree can.
+Dataset xor_data(std::uint64_t seed, std::size_t per_quadrant = 60) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    for (const int sx : {-1, 1}) {
+      for (const int sy : {-1, 1}) {
+        const double x[2] = {sx * rng.uniform(0.5, 2.0),
+                             sy * rng.uniform(0.5, 2.0)};
+        data.add(x, sx * sy > 0 ? 1 : 0);
+      }
+    }
+  }
+  return data;
+}
+
+TEST(LadTreeTest, LearnsSeparableBlobs) {
+  const Dataset data = blobs(1);
+  LadTree model;
+  model.train(data);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p = model.predict_proba(data.features(i));
+    if ((p >= 0.5) == (data.label(i) == 1)) ++correct;
+  }
+  EXPECT_GE(correct, data.size() * 99 / 100);
+}
+
+TEST(LadTreeTest, ProbabilitiesAreInUnitInterval) {
+  const Dataset data = blobs(2);
+  LadTree model;
+  model.train(data);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double p = model.predict_proba(x);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(LadTreeTest, SolvesXorUnlikeStumps) {
+  const Dataset data = xor_data(4);
+  LadTreeConfig config;
+  config.iterations = 40;
+  LadTree model(config);
+  model.train(data);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p = model.predict_proba(data.features(i));
+    if ((p >= 0.5) == (data.label(i) == 1)) ++correct;
+  }
+  EXPECT_GE(correct, data.size() * 95 / 100);
+  // XOR demands nested structure: at least one splitter must attach below
+  // the root prediction node.
+  bool has_nested = false;
+  for (const auto& splitter : model.splitters()) {
+    if (splitter.parent != 0) has_nested = true;
+  }
+  EXPECT_TRUE(has_nested);
+}
+
+TEST(LadTreeTest, MarginAndProbaAreConsistent) {
+  const Dataset data = blobs(5);
+  LadTree model;
+  model.train(data);
+  const auto x = data.features(0);
+  const double margin = model.margin(x);
+  const double p = model.predict_proba(x);
+  EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-2.0 * margin)), 1e-12);
+}
+
+TEST(LadTreeTest, SkewedPriorsShiftRootPrediction) {
+  Rng rng(6);
+  Dataset data(1);
+  for (int i = 0; i < 90; ++i) {
+    const double x[1] = {rng.normal(0, 1)};
+    data.add(x, 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const double x[1] = {rng.normal(0, 1)};
+    data.add(x, 0);
+  }
+  LadTree model(LadTreeConfig{.iterations = 0});
+  model.train(data);
+  EXPECT_GT(model.root_prediction(), 0.0);
+  EXPECT_GT(model.predict_proba(data.features(0)), 0.5);
+}
+
+TEST(LadTreeTest, ConstantFeaturesProduceNoSplit) {
+  Dataset data(2);
+  for (int i = 0; i < 20; ++i) {
+    const double x[2] = {1.0, 2.0};
+    data.add(x, i % 2);
+  }
+  LadTree model;
+  model.train(data);
+  EXPECT_TRUE(model.splitters().empty());
+  EXPECT_NEAR(model.predict_proba(data.features(0)), 0.5, 0.05);
+}
+
+TEST(LadTreeTest, EmptyDatasetThrows) {
+  LadTree model;
+  EXPECT_THROW(model.train(Dataset(2)), std::invalid_argument);
+}
+
+TEST(LadTreeTest, DimensionMismatchThrows) {
+  const Dataset data = blobs(7);
+  LadTree model;
+  model.train(data);
+  const double bad[3] = {0, 0, 0};
+  EXPECT_THROW(model.predict_proba(bad), std::invalid_argument);
+}
+
+TEST(LadTreeTest, AucNearOneOnSeparableData) {
+  const Dataset data = blobs(8);
+  const auto scores = cross_val_scores(
+      data, [] { return std::make_unique<LadTree>(); }, 10, 1);
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    labels.push_back(data.label(i));
+  }
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_GT(auc(curve), 0.99);
+}
+
+class LadTreeIterationsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LadTreeIterationsTest, MoreIterationsNeverHurtTrainingAccuracy) {
+  const Dataset data = xor_data(9, 30);
+  LadTreeConfig config;
+  config.iterations = GetParam();
+  LadTree model(config);
+  model.train(data);
+  EXPECT_LE(model.splitters().size(), GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p = model.predict_proba(data.features(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, LadTreeIterationsTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ml/eval.h"
+#include "ml/lad_tree.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+Dataset blobs(std::uint64_t seed, std::size_t per_class = 80) {
+  Rng rng(seed);
+  Dataset data(4);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const double x0[4] = {rng.normal(-2, 1), rng.normal(-1, 1),
+                          rng.normal(0, 1), rng.normal(1, 2)};
+    data.add(x0, 0);
+    const double x1[4] = {rng.normal(2, 1), rng.normal(1, 1),
+                          rng.normal(0, 1), rng.normal(-1, 2)};
+    data.add(x1, 1);
+  }
+  return data;
+}
+
+TEST(LadTreePersistenceTest, RoundTripIsBitIdentical) {
+  const Dataset data = blobs(1);
+  LadTree model;
+  model.train(data);
+  const auto bytes = model.serialize();
+  const auto restored = LadTree::deserialize(bytes);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored->splitters().size(), model.splitters().size());
+  EXPECT_DOUBLE_EQ(restored->root_prediction(), model.root_prediction());
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x[4] = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                         rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    EXPECT_DOUBLE_EQ(restored->predict_proba(x), model.predict_proba(x));
+  }
+}
+
+TEST(LadTreePersistenceTest, UntrainedPriorOnlyModelRoundTrips) {
+  Dataset data(2);
+  const double x[2] = {0.0, 0.0};
+  data.add(x, 1);
+  data.add(x, 0);
+  LadTree model(LadTreeConfig{.iterations = 0});
+  model.train(data);
+  const auto restored = LadTree::deserialize(model.serialize());
+  ASSERT_TRUE(restored);
+  EXPECT_DOUBLE_EQ(restored->predict_proba(x), model.predict_proba(x));
+}
+
+TEST(LadTreePersistenceTest, RejectsBadMagic) {
+  std::vector<std::uint8_t> junk = {'X', 'X', 'X', 'X', 0, 0, 0, 0};
+  EXPECT_FALSE(LadTree::deserialize(junk));
+  EXPECT_FALSE(LadTree::deserialize({}));
+}
+
+TEST(LadTreePersistenceTest, RejectsTruncation) {
+  const Dataset data = blobs(3);
+  LadTree model;
+  model.train(data);
+  const auto bytes = model.serialize();
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(LadTree::deserialize(
+        std::span<const std::uint8_t>(bytes.data(), len)))
+        << "prefix " << len;
+  }
+}
+
+TEST(LadTreePersistenceTest, RejectsStructuralCorruption) {
+  const Dataset data = blobs(4);
+  LadTree model;
+  model.train(data);
+  ASSERT_FALSE(model.splitters().empty());
+  auto bytes = model.serialize();
+  // Corrupt the first splitter's parent id (offset: magic 4 + dim 8 +
+  // root 8 + count 8 = 28) to a huge value.
+  bytes[28 + 6] = 0x7f;
+  EXPECT_FALSE(LadTree::deserialize(bytes));
+}
+
+class PersistenceFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PersistenceFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(400));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    // Stamp a valid magic sometimes to reach deeper parse paths.
+    if (junk.size() >= 4 && rng.chance(0.5)) {
+      junk[0] = 'L';
+      junk[1] = 'A';
+      junk[2] = 'D';
+      junk[3] = '1';
+    }
+    const auto model = LadTree::deserialize(junk);
+    if (model && model->dim() < 1024) {
+      // If it parsed, predictions must still be safe to call.
+      const std::vector<double> x(model->dim(), 0.0);
+      (void)model->predict_proba(x);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceFuzzTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,152 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dnsnoise {
+namespace {
+
+TEST(DomainNameTest, NormalizesCaseAndTrailingDot) {
+  const DomainName name("WWW.Example.COM.");
+  EXPECT_EQ(name.text(), "www.example.com");
+  EXPECT_EQ(name.label_count(), 3u);
+}
+
+TEST(DomainNameTest, EmptyAndRoot) {
+  const DomainName root("");
+  EXPECT_TRUE(root.empty());
+  EXPECT_EQ(root.label_count(), 0u);
+  const DomainName dot(".");
+  EXPECT_TRUE(dot.empty());
+}
+
+TEST(DomainNameTest, LabelsLeftToRight) {
+  const DomainName name("a.b.example.com");
+  EXPECT_EQ(name.label(0), "a");
+  EXPECT_EQ(name.label(1), "b");
+  EXPECT_EQ(name.label(3), "com");
+  EXPECT_EQ(name.label_from_right(0), "com");
+  EXPECT_EQ(name.label_from_right(3), "a");
+  EXPECT_THROW(name.label(4), std::out_of_range);
+}
+
+TEST(DomainNameTest, LabelsVector) {
+  const DomainName name("x.y.z");
+  const auto labels = name.labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "x");
+  EXPECT_EQ(labels[2], "z");
+}
+
+TEST(DomainNameTest, NldMatchesPaperNotation) {
+  // Paper III-B: d = a.example.com, TLD(d) = com, 2LD(d) = example.com,
+  // 3LD(d) = a.example.com.
+  const DomainName d("a.example.com");
+  EXPECT_EQ(d.nld(1).text(), "com");
+  EXPECT_EQ(d.nld(2).text(), "example.com");
+  EXPECT_EQ(d.nld(3).text(), "a.example.com");
+  EXPECT_EQ(d.nld(99).text(), "a.example.com");
+  EXPECT_TRUE(d.nld(0).empty());
+}
+
+TEST(DomainNameTest, NldViewIsZeroCopy) {
+  const DomainName d("a.b.c.net");
+  EXPECT_EQ(d.nld_view(2), "c.net");
+  EXPECT_EQ(d.nld_view(4), "a.b.c.net");
+  EXPECT_TRUE(d.nld_view(0).empty());
+}
+
+TEST(DomainNameTest, Parent) {
+  const DomainName d("a.b.com");
+  EXPECT_EQ(d.parent().text(), "b.com");
+  EXPECT_EQ(d.parent().parent().text(), "com");
+  EXPECT_TRUE(d.parent().parent().parent().empty());
+}
+
+TEST(DomainNameTest, IsWithin) {
+  const DomainName d("mail.google.com");
+  EXPECT_TRUE(d.is_within("google.com"));
+  EXPECT_TRUE(d.is_within("com"));
+  EXPECT_TRUE(d.is_within("mail.google.com"));  // itself
+  EXPECT_TRUE(d.is_within(""));                 // root
+  EXPECT_FALSE(d.is_within("oogle.com"));       // not a label boundary
+  EXPECT_FALSE(d.is_within("example.com"));
+  EXPECT_FALSE(DomainName("com").is_within("google.com"));
+}
+
+TEST(DomainNameTest, Child) {
+  const DomainName apex("example.com");
+  EXPECT_EQ(apex.child("www").text(), "www.example.com");
+  EXPECT_EQ(DomainName("").child("com").text(), "com");
+}
+
+TEST(DomainNameTest, ComparisonAndHash) {
+  const DomainName a("a.com");
+  const DomainName b("A.COM");
+  const DomainName c("b.com");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  std::unordered_set<DomainName> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(DomainNameTest, AcceptsHyphensDigitsUnderscores) {
+  EXPECT_TRUE(DomainName::parse("load-0-p-01.up-1852280.example.com"));
+  EXPECT_TRUE(DomainName::parse("_dmarc.example.com"));
+  EXPECT_TRUE(DomainName::parse("123.45.67.89.zen.example.org"));
+}
+
+TEST(DomainNameTest, RejectsOversizedLabels) {
+  const std::string big_label(64, 'a');
+  EXPECT_FALSE(DomainName::parse(big_label + ".com"));
+  const std::string max_label(63, 'a');
+  EXPECT_TRUE(DomainName::parse(max_label + ".com"));
+}
+
+TEST(DomainNameTest, RejectsOversizedNames) {
+  std::string name;
+  for (int i = 0; i < 60; ++i) name += "abcd.";
+  name += "com";  // 303 chars
+  EXPECT_FALSE(DomainName::parse(name));
+}
+
+class InvalidNameTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InvalidNameTest, ParseRejects) {
+  EXPECT_FALSE(DomainName::parse(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, InvalidNameTest,
+                         ::testing::Values("a..b", ".leading.dot",
+                                           "bad label.com", "semi;colon.com",
+                                           "new\nline.com", "tab\t.com",
+                                           "per%cent.com", "a..", "..",
+                                           "sla/sh.com"));
+
+class ValidNameTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ValidNameTest, ParseAcceptsAndRoundTrips) {
+  const auto name = DomainName::parse(GetParam());
+  ASSERT_TRUE(name) << GetParam();
+  // Re-parsing the normalized text is the identity.
+  const auto again = DomainName::parse(name->text());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*name, *again);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Wild, ValidNameTest,
+    ::testing::Values(
+        "www.example.com", "com", "x.co.uk",
+        "0.0.0.0.1.0.0.4e.135jg5e1pd7s4735ftrqweufm5.avqs.mcafee.com",
+        "p2.a22a43lt5rwfg.ihg5ki5i6q3cfn3n.191742.i1.ds.ipv6-exp.l.google.com",
+        "load-0-p-01.up-1852280.device.trans.manage.esoft.com",
+        "single"));
+
+}  // namespace
+}  // namespace dnsnoise

@@ -1,0 +1,127 @@
+#include "netio/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+std::vector<std::uint8_t> payload_bytes(const char* text) {
+  const std::string s(text);
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(PacketTest, Udp4RoundTrip) {
+  const auto payload = payload_bytes("hello dns");
+  const Ipv4 src = *parse_ipv4("10.0.0.53");
+  const Ipv4 dst = *parse_ipv4("192.168.1.2");
+  const auto frame = build_udp4_frame(src, 53, dst, 4242, payload);
+
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->src.is_v6);
+  EXPECT_EQ(parsed->src.v4, src);
+  EXPECT_EQ(parsed->dst.v4, dst);
+  EXPECT_EQ(parsed->src.port, 53);
+  EXPECT_EQ(parsed->dst.port, 4242);
+  EXPECT_EQ(std::vector<std::uint8_t>(parsed->payload.begin(),
+                                      parsed->payload.end()),
+            payload);
+}
+
+TEST(PacketTest, Udp4ChecksumValid) {
+  const auto frame = build_udp4_frame(*parse_ipv4("1.2.3.4"), 53,
+                                      *parse_ipv4("5.6.7.8"), 9999,
+                                      payload_bytes("x"));
+  EXPECT_TRUE(verify_ipv4_checksum(frame));
+}
+
+TEST(PacketTest, CorruptedChecksumDetected) {
+  auto frame = build_udp4_frame(*parse_ipv4("1.2.3.4"), 53,
+                                *parse_ipv4("5.6.7.8"), 9999,
+                                payload_bytes("x"));
+  frame[14 + 8] ^= 0xff;  // flip the TTL byte inside the IP header
+  EXPECT_FALSE(verify_ipv4_checksum(frame));
+}
+
+TEST(PacketTest, Udp6RoundTrip) {
+  const Ipv6 src = *parse_ipv6("2001:db8::1");
+  const Ipv6 dst = *parse_ipv6("2001:db8::2");
+  const auto payload = payload_bytes("v6 payload");
+  const auto frame = build_udp6_frame(src, 53, dst, 1234, payload);
+
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->src.is_v6);
+  EXPECT_EQ(parsed->src.v6, src);
+  EXPECT_EQ(parsed->dst.v6, dst);
+  EXPECT_EQ(parsed->src.port, 53);
+  EXPECT_EQ(parsed->dst.port, 1234);
+  EXPECT_EQ(std::vector<std::uint8_t>(parsed->payload.begin(),
+                                      parsed->payload.end()),
+            payload);
+}
+
+TEST(PacketTest, EmptyPayload) {
+  const auto frame = build_udp4_frame(*parse_ipv4("1.1.1.1"), 1,
+                                      *parse_ipv4("2.2.2.2"), 2, {});
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(PacketTest, RejectsNonIpEthertype) {
+  std::vector<std::uint8_t> frame(60, 0);
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP
+  EXPECT_FALSE(parse_frame(frame));
+}
+
+TEST(PacketTest, RejectsNonUdpProtocol) {
+  auto frame = build_udp4_frame(*parse_ipv4("1.1.1.1"), 1,
+                                *parse_ipv4("2.2.2.2"), 2,
+                                payload_bytes("x"));
+  frame[14 + 9] = 6;  // TCP
+  EXPECT_FALSE(parse_frame(frame));
+}
+
+TEST(PacketTest, RejectsTruncatedFrames) {
+  const auto frame = build_udp4_frame(*parse_ipv4("1.1.1.1"), 1,
+                                      *parse_ipv4("2.2.2.2"), 2,
+                                      payload_bytes("payload!"));
+  // Property: every strict prefix must be rejected (the UDP length field
+  // makes the full frame self-delimiting).
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(parse_frame(std::span<const std::uint8_t>(frame.data(), len)))
+        << "prefix length " << len;
+  }
+}
+
+TEST(PacketTest, InetChecksumKnownVector) {
+  // RFC 1071 example: checksum of this sequence is 0xddf2's complement.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(inet_checksum(data), 0x220d);
+}
+
+TEST(PacketTest, InetChecksumOddLength) {
+  const std::vector<std::uint8_t> data = {0xff};
+  EXPECT_EQ(inet_checksum(data), static_cast<std::uint16_t>(~0xff00));
+}
+
+class PacketFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketFuzzTest, RandomFramesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> frame(rng.below(120));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)parse_frame(frame);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dnsnoise

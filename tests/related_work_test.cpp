@@ -1,0 +1,100 @@
+#include "analytics/related_work.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsnoise {
+namespace {
+
+FpDnsEntry below_entry(const char* qname, RCode rcode,
+                       std::uint64_t client = 1) {
+  FpDnsEntry entry;
+  entry.ts = 100;
+  entry.client_id = client;
+  entry.direction = FpDirection::kBelow;
+  entry.rcode = rcode;
+  entry.qname = qname;
+  entry.qtype = RRType::A;
+  entry.rdata = rcode == RCode::NoError ? "192.0.2.1" : "";
+  return entry;
+}
+
+bool fake_disposable(const DomainName& name) {
+  return name.is_within("avqs.vendor.com");
+}
+
+TEST(TaxonomyTest, SplitsThreeCategories) {
+  FpDnsDataset fpdns;
+  fpdns.add(below_entry("www.google.com", RCode::NoError));
+  fpdns.add(below_entry("mail.google.com", RCode::NoError));
+  fpdns.add(below_entry("abc123.avqs.vendor.com", RCode::NoError));
+  fpdns.add(below_entry("nxjunk.com", RCode::NXDomain));
+
+  const TrafficTaxonomy taxonomy = classify_taxonomy(fpdns, fake_disposable);
+  EXPECT_EQ(taxonomy.canonical, 2u);
+  EXPECT_EQ(taxonomy.overloaded, 1u);
+  EXPECT_EQ(taxonomy.unwanted, 1u);
+  EXPECT_EQ(taxonomy.total(), 4u);
+}
+
+TEST(TaxonomyTest, AboveEntriesAreIgnored) {
+  FpDnsDataset fpdns;
+  FpDnsEntry above = below_entry("www.google.com", RCode::NoError);
+  above.direction = FpDirection::kAbove;
+  fpdns.add(above);
+  EXPECT_EQ(classify_taxonomy(fpdns, fake_disposable).total(), 0u);
+}
+
+std::string fake_zone_of(const DomainName& name) {
+  return name.is_within("avqs.vendor.com") ? "avqs.vendor.com" : "";
+}
+
+TEST(CovertChannelTest, MetersPayloadBytesPerClientZone) {
+  FpDnsDataset fpdns;
+  // Client 1 sends two names; payload = name length minus zone length.
+  fpdns.add(below_entry("aaaa.avqs.vendor.com", RCode::NoError, 1));
+  fpdns.add(below_entry("bbbbbbbb.avqs.vendor.com", RCode::NoError, 1));
+  // Client 2 sends one; non-disposable names are not metered.
+  fpdns.add(below_entry("cc.avqs.vendor.com", RCode::NoError, 2));
+  fpdns.add(below_entry("www.google.com", RCode::NoError, 2));
+
+  const CovertChannelStudy study =
+      covert_channel_study(fpdns, fake_zone_of, /*threshold=*/10);
+  ASSERT_EQ(study.per_client_zone_bytes.size(), 2u);
+  // Client 1: 5 + 9 = 14 payload bytes ("aaaa." and "bbbbbbbb.").
+  EXPECT_EQ(study.per_client_zone_bytes[0], 14u);
+  // Client 2: 3 bytes ("cc.").
+  EXPECT_EQ(study.per_client_zone_bytes[1], 3u);
+  // One of two channels is under the 10-byte threshold.
+  EXPECT_DOUBLE_EQ(study.under_threshold_fraction, 0.5);
+  // The zone's collective footprint aggregates both clients.
+  EXPECT_EQ(study.busiest_zone_bytes, 17u);
+}
+
+TEST(CovertChannelTest, EmptyDataset) {
+  const FpDnsDataset fpdns;
+  const CovertChannelStudy study = covert_channel_study(fpdns, fake_zone_of);
+  EXPECT_TRUE(study.per_client_zone_bytes.empty());
+  EXPECT_EQ(study.under_threshold_fraction, 0.0);
+  EXPECT_EQ(study.busiest_zone_bytes, 0u);
+  EXPECT_EQ(study.threshold, 4096u);
+}
+
+TEST(CovertChannelTest, StealthyButCollectivelyVisible) {
+  // The paper's claim in miniature: 50 clients each send a little (under
+  // the bound), but the zone's aggregate dwarfs it.
+  FpDnsDataset fpdns;
+  for (std::uint64_t client = 1; client <= 50; ++client) {
+    for (int i = 0; i < 4; ++i) {
+      const std::string name = "h" + std::to_string(client * 100 + i) +
+                               "xxxxxxxxxxxxxxxx.avqs.vendor.com";
+      fpdns.add(below_entry(name.c_str(), RCode::NoError, client));
+    }
+  }
+  const CovertChannelStudy study =
+      covert_channel_study(fpdns, fake_zone_of, /*threshold=*/4096);
+  EXPECT_DOUBLE_EQ(study.under_threshold_fraction, 1.0);  // all stealthy
+  EXPECT_GT(study.busiest_zone_bytes, study.threshold);   // zone visible
+}
+
+}  // namespace
+}  // namespace dnsnoise

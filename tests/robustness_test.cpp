@@ -1,0 +1,102 @@
+// Failure-injection robustness: the monitoring tap in a production ISP
+// loses packets.  The miner's CHR accounting is computed from the tap, so
+// packet loss perturbs every feature — these tests verify the pipeline
+// degrades gracefully rather than collapsing.
+#include <gtest/gtest.h>
+
+#include "miner/pipeline.h"
+#include "ml/lad_tree.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+PipelineOptions small_options() {
+  PipelineOptions options;
+  options.scale.queries_per_day = 90'000;
+  options.scale.client_count = 4'000;
+  options.scale.population_scale = 0.5;
+  options.labeler.min_group_size = 8;
+  return options;
+}
+
+/// Simulates a day while dropping a fraction of tap events (independently
+/// per direction), as a lossy SPAN port would.
+void simulate_lossy_day(Scenario& scenario, DayCapture& capture,
+                        const PipelineOptions& options, std::int64_t day,
+                        double loss, std::uint64_t seed) {
+  RdnsCluster cluster(options.cluster, scenario.authority());
+  Rng drop_rng(seed);
+  cluster.set_below_sink([&](SimTime ts, std::uint64_t client,
+                             const Question& q, RCode rcode,
+                             std::span<const ResourceRecord> answers) {
+    if (drop_rng.chance(loss)) return;
+    capture.on_below(ts, client, q, rcode, answers);
+  });
+  cluster.set_above_sink([&](SimTime ts, const Question& q, RCode rcode,
+                             std::span<const ResourceRecord> answers) {
+    if (drop_rng.chance(loss)) return;
+    capture.on_above(ts, q, rcode, answers);
+  });
+  scenario.traffic().run_day(day, [&cluster](SimTime ts, std::uint64_t client,
+                                             const QuerySpec& query) {
+    cluster.query(client, {DomainName(query.qname), query.qtype}, ts);
+  });
+}
+
+class TapLossTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TapLossTest, MinerSurvivesPacketLoss) {
+  const double loss = GetParam();
+  const PipelineOptions options = small_options();
+
+  // Train on a clean day (the analyst labels from a reliable collection),
+  // then mine a lossy day.
+  Scenario train_scenario(ScenarioDate::kNov14, options.scale);
+  DayCapture train_capture;
+  simulate_day(train_scenario, train_capture, options,
+               scenario_day_index(ScenarioDate::kNov14));
+  LadTree model;
+  model.train(to_dataset(label_zones(train_capture.tree(),
+                                     train_capture.chr(), train_scenario,
+                                     options.labeler)));
+
+  ScenarioScale lossy_scale = options.scale;
+  lossy_scale.traffic_stream = 99;
+  Scenario lossy_scenario(ScenarioDate::kDec30, lossy_scale);
+  DayCapture lossy_capture;
+  PipelineOptions lossy_options = options;
+  lossy_options.scale = lossy_scale;
+  simulate_lossy_day(lossy_scenario, lossy_capture, lossy_options,
+                     scenario_day_index(ScenarioDate::kDec30), loss, 7);
+
+  const DisposableZoneMiner miner(model);
+  const auto findings =
+      miner.mine(lossy_capture.tree(), lossy_capture.chr());
+  const MiningEvaluation eval =
+      evaluate_findings(findings, lossy_scenario.truth());
+
+  // Losing up to 30% of tap packets must not collapse discovery or flood
+  // the output with false positives.
+  EXPECT_GT(eval.findings, 15u) << "loss " << loss;
+  EXPECT_GT(eval.finding_precision(), 0.85) << "loss " << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TapLossTest,
+                         ::testing::Values(0.0, 0.1, 0.3));
+
+TEST(ArchetypeBreakdownTest, DiscoveredZonesSpanTheTaxonomy) {
+  const PipelineOptions options = small_options();
+  const MiningDayResult result =
+      run_mining_day(ScenarioDate::kDec30, options);
+  const auto& by_archetype = result.evaluation.discovered_by_archetype;
+  // The five industries of the synthetic zoo are all represented.
+  std::size_t total = 0;
+  for (const auto& [archetype, count] : by_archetype) total += count;
+  EXPECT_EQ(total, result.evaluation.truth_zones_discovered);
+  EXPECT_GE(by_archetype.size(), 4u);  // at least 4 of 5-6 archetypes
+  EXPECT_TRUE(by_archetype.contains("experiment"));  // the flagship
+}
+
+}  // namespace
+}  // namespace dnsnoise

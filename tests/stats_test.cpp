@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dnsnoise {
+namespace {
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(StatsTest, SummarizeKnownValues) {
+  const std::array<double, 5> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.0);
+}
+
+TEST(StatsTest, MedianEvenCount) {
+  const std::array<double, 4> values = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(median(values), 2.5);
+}
+
+TEST(StatsTest, MedianSingle) {
+  const std::array<double, 1> values = {7.0};
+  EXPECT_DOUBLE_EQ(median(values), 7.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMid) {
+  const std::array<double, 5> values = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 20.0);
+}
+
+TEST(StatsTest, QuantileClampsOutOfRange) {
+  const std::array<double, 2> values = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(values, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 2.0), 2.0);
+}
+
+TEST(StatsTest, FractionBelow) {
+  const std::array<double, 4> values = {0.0, 0.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(fraction_below(values, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(values, 2.0), 1.0);
+}
+
+TEST(StatsTest, FractionEqual) {
+  const std::array<double, 4> values = {0.0, 0.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(fraction_equal(values, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_equal(values, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(fraction_equal(values, 9.0), 0.0);
+}
+
+TEST(StatsTest, OnlineStatsMatchesBatch) {
+  Rng rng(1);
+  std::vector<double> values;
+  OnlineStats online;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    values.push_back(x);
+    online.add(x);
+  }
+  const Summary batch = summarize(values);
+  EXPECT_EQ(online.count(), batch.count);
+  EXPECT_NEAR(online.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(online.variance(), batch.variance, 1e-6);
+  EXPECT_DOUBLE_EQ(online.min(), batch.min);
+  EXPECT_DOUBLE_EQ(online.max(), batch.max);
+}
+
+TEST(StatsTest, OnlineStatsEmpty) {
+  const OnlineStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, QuantilesAreMonotone) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.uniform(-5, 5));
+  double previous = quantile(values, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = quantile(values, q);
+    EXPECT_GE(current, previous - 1e-12);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace dnsnoise

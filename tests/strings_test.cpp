@@ -1,0 +1,104 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace dnsnoise {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(split("", '.').size(), 1u);
+  EXPECT_EQ(split(".", '.').size(), 2u);
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const std::string input = "x.y.z";
+  EXPECT_EQ(join(split(input, '.'), '.'), input);
+}
+
+TEST(StringsTest, JoinStrings) {
+  const std::vector<std::string> parts = {"one", "two"};
+  EXPECT_EQ(join(parts, '-'), "one-two");
+  EXPECT_EQ(join(std::vector<std::string>{}, '-'), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("WwW.ExAmPlE.CoM"), "www.example.com");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, EndsStartsWith) {
+  EXPECT_TRUE(ends_with("foo.example.com", ".example.com"));
+  EXPECT_FALSE(ends_with("com", ".example.com"));
+  EXPECT_TRUE(starts_with("*.ck", "*."));
+  EXPECT_FALSE(starts_with("a", "ab"));
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(14488), "14,488");
+  EXPECT_EQ(with_commas(129674213), "129,674,213");
+}
+
+TEST(StringsTest, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.231), "23.1%");
+  EXPECT_EQ(percent(0.97, 0), "97%");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"zone", "count"});
+  table.add_row({"a.example.com", "5"});
+  table.add_row({"b.co", "12345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("zone"), std::string::npos);
+  EXPECT_NE(out.find("a.example.com"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TableTest, AsciiBars) {
+  const std::vector<std::pair<std::string, double>> series = {
+      {"feb", 1.0}, {"dec", 2.0}};
+  const std::string out = ascii_bars(series, 10);
+  EXPECT_NE(out.find("feb"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // max-length bar
+}
+
+TEST(TableTest, AsciiBarsAllZero) {
+  const std::vector<std::pair<std::string, double>> series = {{"x", 0.0}};
+  EXPECT_NO_THROW(ascii_bars(series));
+}
+
+TEST(TableTest, XySeries) {
+  const std::vector<std::pair<double, double>> series = {{0.0, 1.0},
+                                                         {0.5, 2.0}};
+  const std::string out = xy_series(series, "x", "y");
+  EXPECT_NE(out.find("x\ty"), std::string::npos);
+  EXPECT_NE(out.find("0.500000\t2.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnsnoise
