@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_traffic_volume.dir/fig02_traffic_volume.cpp.o"
+  "CMakeFiles/fig02_traffic_volume.dir/fig02_traffic_volume.cpp.o.d"
+  "fig02_traffic_volume"
+  "fig02_traffic_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_traffic_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_long_tail.dir/fig03_long_tail.cpp.o"
+  "CMakeFiles/fig03_long_tail.dir/fig03_long_tail.cpp.o.d"
+  "fig03_long_tail"
+  "fig03_long_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_long_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_chr_distribution.dir/fig04_chr_distribution.cpp.o"
+  "CMakeFiles/fig04_chr_distribution.dir/fig04_chr_distribution.cpp.o.d"
+  "fig04_chr_distribution"
+  "fig04_chr_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_chr_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

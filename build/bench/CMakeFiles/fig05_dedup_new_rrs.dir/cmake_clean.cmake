@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dedup_new_rrs.dir/fig05_dedup_new_rrs.cpp.o"
+  "CMakeFiles/fig05_dedup_new_rrs.dir/fig05_dedup_new_rrs.cpp.o.d"
+  "fig05_dedup_new_rrs"
+  "fig05_dedup_new_rrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dedup_new_rrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

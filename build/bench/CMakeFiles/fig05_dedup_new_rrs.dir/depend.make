@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_dedup_new_rrs.
+# This may be replaced when dependencies are built.

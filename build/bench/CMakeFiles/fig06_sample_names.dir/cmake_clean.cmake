@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sample_names.dir/fig06_sample_names.cpp.o"
+  "CMakeFiles/fig06_sample_names.dir/fig06_sample_names.cpp.o.d"
+  "fig06_sample_names"
+  "fig06_sample_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sample_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

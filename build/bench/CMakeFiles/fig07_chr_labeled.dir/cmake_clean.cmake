@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_chr_labeled.dir/fig07_chr_labeled.cpp.o"
+  "CMakeFiles/fig07_chr_labeled.dir/fig07_chr_labeled.cpp.o.d"
+  "fig07_chr_labeled"
+  "fig07_chr_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_chr_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

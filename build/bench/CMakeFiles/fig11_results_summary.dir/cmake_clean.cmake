@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_results_summary.dir/fig11_results_summary.cpp.o"
+  "CMakeFiles/fig11_results_summary.dir/fig11_results_summary.cpp.o.d"
+  "fig11_results_summary"
+  "fig11_results_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_results_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_roc_lad_tree.dir/fig12_roc_lad_tree.cpp.o"
+  "CMakeFiles/fig12_roc_lad_tree.dir/fig12_roc_lad_tree.cpp.o.d"
+  "fig12_roc_lad_tree"
+  "fig12_roc_lad_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_roc_lad_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_roc_lad_tree.
+# This may be replaced when dependencies are built.

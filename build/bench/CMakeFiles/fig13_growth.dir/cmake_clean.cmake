@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_growth.dir/fig13_growth.cpp.o"
+  "CMakeFiles/fig13_growth.dir/fig13_growth.cpp.o.d"
+  "fig13_growth"
+  "fig13_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

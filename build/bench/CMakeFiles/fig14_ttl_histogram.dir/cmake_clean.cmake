@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ttl_histogram.dir/fig14_ttl_histogram.cpp.o"
+  "CMakeFiles/fig14_ttl_histogram.dir/fig14_ttl_histogram.cpp.o.d"
+  "fig14_ttl_histogram"
+  "fig14_ttl_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ttl_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

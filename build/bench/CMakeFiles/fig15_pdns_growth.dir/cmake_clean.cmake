@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pdns_growth.dir/fig15_pdns_growth.cpp.o"
+  "CMakeFiles/fig15_pdns_growth.dir/fig15_pdns_growth.cpp.o.d"
+  "fig15_pdns_growth"
+  "fig15_pdns_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pdns_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_analyses.dir/related_work_analyses.cpp.o"
+  "CMakeFiles/related_work_analyses.dir/related_work_analyses.cpp.o.d"
+  "related_work_analyses"
+  "related_work_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6a_cache_impact.dir/sec6a_cache_impact.cpp.o"
+  "CMakeFiles/sec6a_cache_impact.dir/sec6a_cache_impact.cpp.o.d"
+  "sec6a_cache_impact"
+  "sec6a_cache_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6a_cache_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

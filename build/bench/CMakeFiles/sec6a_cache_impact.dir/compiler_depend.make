@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6a_cache_impact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6a_cache_impact.
+# This may be replaced when dependencies are built.

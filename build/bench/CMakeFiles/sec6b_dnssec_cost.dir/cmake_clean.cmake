@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6b_dnssec_cost.dir/sec6b_dnssec_cost.cpp.o"
+  "CMakeFiles/sec6b_dnssec_cost.dir/sec6b_dnssec_cost.cpp.o.d"
+  "sec6b_dnssec_cost"
+  "sec6b_dnssec_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6b_dnssec_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6c_pdns_wildcard.dir/sec6c_pdns_wildcard.cpp.o"
+  "CMakeFiles/sec6c_pdns_wildcard.dir/sec6c_pdns_wildcard.cpp.o.d"
+  "sec6c_pdns_wildcard"
+  "sec6c_pdns_wildcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6c_pdns_wildcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6c_pdns_wildcard.
+# This may be replaced when dependencies are built.

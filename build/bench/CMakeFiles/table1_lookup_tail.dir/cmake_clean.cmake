@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lookup_tail.dir/table1_lookup_tail.cpp.o"
+  "CMakeFiles/table1_lookup_tail.dir/table1_lookup_tail.cpp.o.d"
+  "table1_lookup_tail"
+  "table1_lookup_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lookup_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dhr_tail.dir/table2_dhr_tail.cpp.o"
+  "CMakeFiles/table2_dhr_tail.dir/table2_dhr_tail.cpp.o.d"
+  "table2_dhr_tail"
+  "table2_dhr_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dhr_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_pcap.dir/mine_pcap.cpp.o"
+  "CMakeFiles/mine_pcap.dir/mine_pcap.cpp.o.d"
+  "mine_pcap"
+  "mine_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_pipeline.dir/pcap_pipeline.cpp.o"
+  "CMakeFiles/pcap_pipeline.dir/pcap_pipeline.cpp.o.d"
+  "pcap_pipeline"
+  "pcap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

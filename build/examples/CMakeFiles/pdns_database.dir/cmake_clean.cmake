@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdns_database.dir/pdns_database.cpp.o"
+  "CMakeFiles/pdns_database.dir/pdns_database.cpp.o.d"
+  "pdns_database"
+  "pdns_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdns_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_analytics.dir/measurements.cc.o"
+  "CMakeFiles/dnsnoise_analytics.dir/measurements.cc.o.d"
+  "CMakeFiles/dnsnoise_analytics.dir/related_work.cc.o"
+  "CMakeFiles/dnsnoise_analytics.dir/related_work.cc.o.d"
+  "libdnsnoise_analytics.a"
+  "libdnsnoise_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

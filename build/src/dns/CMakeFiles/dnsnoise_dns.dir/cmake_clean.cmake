@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_dns.dir/ip.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/ip.cc.o.d"
+  "CMakeFiles/dnsnoise_dns.dir/message.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/message.cc.o.d"
+  "CMakeFiles/dnsnoise_dns.dir/name.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/name.cc.o.d"
+  "CMakeFiles/dnsnoise_dns.dir/public_suffix.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/public_suffix.cc.o.d"
+  "CMakeFiles/dnsnoise_dns.dir/rr.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/rr.cc.o.d"
+  "CMakeFiles/dnsnoise_dns.dir/wire.cc.o"
+  "CMakeFiles/dnsnoise_dns.dir/wire.cc.o.d"
+  "libdnsnoise_dns.a"
+  "libdnsnoise_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_features.dir/chr.cc.o"
+  "CMakeFiles/dnsnoise_features.dir/chr.cc.o.d"
+  "CMakeFiles/dnsnoise_features.dir/domain_tree.cc.o"
+  "CMakeFiles/dnsnoise_features.dir/domain_tree.cc.o.d"
+  "CMakeFiles/dnsnoise_features.dir/extractor.cc.o"
+  "CMakeFiles/dnsnoise_features.dir/extractor.cc.o.d"
+  "libdnsnoise_features.a"
+  "libdnsnoise_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_miner.dir/algorithm1.cc.o"
+  "CMakeFiles/dnsnoise_miner.dir/algorithm1.cc.o.d"
+  "CMakeFiles/dnsnoise_miner.dir/day_capture.cc.o"
+  "CMakeFiles/dnsnoise_miner.dir/day_capture.cc.o.d"
+  "CMakeFiles/dnsnoise_miner.dir/evaluate.cc.o"
+  "CMakeFiles/dnsnoise_miner.dir/evaluate.cc.o.d"
+  "CMakeFiles/dnsnoise_miner.dir/labeler.cc.o"
+  "CMakeFiles/dnsnoise_miner.dir/labeler.cc.o.d"
+  "CMakeFiles/dnsnoise_miner.dir/pipeline.cc.o"
+  "CMakeFiles/dnsnoise_miner.dir/pipeline.cc.o.d"
+  "libdnsnoise_miner.a"
+  "libdnsnoise_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_ml.dir/baselines.cc.o"
+  "CMakeFiles/dnsnoise_ml.dir/baselines.cc.o.d"
+  "CMakeFiles/dnsnoise_ml.dir/eval.cc.o"
+  "CMakeFiles/dnsnoise_ml.dir/eval.cc.o.d"
+  "CMakeFiles/dnsnoise_ml.dir/lad_tree.cc.o"
+  "CMakeFiles/dnsnoise_ml.dir/lad_tree.cc.o.d"
+  "libdnsnoise_ml.a"
+  "libdnsnoise_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsnoise_ml.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netio/capture.cc" "src/netio/CMakeFiles/dnsnoise_netio.dir/capture.cc.o" "gcc" "src/netio/CMakeFiles/dnsnoise_netio.dir/capture.cc.o.d"
+  "/root/repo/src/netio/packet.cc" "src/netio/CMakeFiles/dnsnoise_netio.dir/packet.cc.o" "gcc" "src/netio/CMakeFiles/dnsnoise_netio.dir/packet.cc.o.d"
+  "/root/repo/src/netio/pcap.cc" "src/netio/CMakeFiles/dnsnoise_netio.dir/pcap.cc.o" "gcc" "src/netio/CMakeFiles/dnsnoise_netio.dir/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsnoise_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsnoise_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

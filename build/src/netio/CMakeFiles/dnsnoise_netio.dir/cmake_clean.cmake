@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_netio.dir/capture.cc.o"
+  "CMakeFiles/dnsnoise_netio.dir/capture.cc.o.d"
+  "CMakeFiles/dnsnoise_netio.dir/packet.cc.o"
+  "CMakeFiles/dnsnoise_netio.dir/packet.cc.o.d"
+  "CMakeFiles/dnsnoise_netio.dir/pcap.cc.o"
+  "CMakeFiles/dnsnoise_netio.dir/pcap.cc.o.d"
+  "libdnsnoise_netio.a"
+  "libdnsnoise_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_pdns.dir/fpdns.cc.o"
+  "CMakeFiles/dnsnoise_pdns.dir/fpdns.cc.o.d"
+  "CMakeFiles/dnsnoise_pdns.dir/pdns_db.cc.o"
+  "CMakeFiles/dnsnoise_pdns.dir/pdns_db.cc.o.d"
+  "CMakeFiles/dnsnoise_pdns.dir/rpdns.cc.o"
+  "CMakeFiles/dnsnoise_pdns.dir/rpdns.cc.o.d"
+  "libdnsnoise_pdns.a"
+  "libdnsnoise_pdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_pdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/authority.cc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/authority.cc.o" "gcc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/authority.cc.o.d"
+  "/root/repo/src/resolver/cluster.cc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/cluster.cc.o" "gcc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/cluster.cc.o.d"
+  "/root/repo/src/resolver/dns_cache.cc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/dns_cache.cc.o" "gcc" "src/resolver/CMakeFiles/dnsnoise_resolver.dir/dns_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsnoise_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsnoise_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_resolver.dir/authority.cc.o"
+  "CMakeFiles/dnsnoise_resolver.dir/authority.cc.o.d"
+  "CMakeFiles/dnsnoise_resolver.dir/cluster.cc.o"
+  "CMakeFiles/dnsnoise_resolver.dir/cluster.cc.o.d"
+  "CMakeFiles/dnsnoise_resolver.dir/dns_cache.cc.o"
+  "CMakeFiles/dnsnoise_resolver.dir/dns_cache.cc.o.d"
+  "libdnsnoise_resolver.a"
+  "libdnsnoise_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_util.dir/entropy.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/entropy.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/histogram.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/histogram.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/rng.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/rng.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/stats.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/stats.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/strings.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/strings.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/table.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/table.cc.o.d"
+  "CMakeFiles/dnsnoise_util.dir/zipf.cc.o"
+  "CMakeFiles/dnsnoise_util.dir/zipf.cc.o.d"
+  "libdnsnoise_util.a"
+  "libdnsnoise_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/label_gen.cc" "src/workload/CMakeFiles/dnsnoise_workload.dir/label_gen.cc.o" "gcc" "src/workload/CMakeFiles/dnsnoise_workload.dir/label_gen.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/dnsnoise_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/dnsnoise_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/traffic_gen.cc" "src/workload/CMakeFiles/dnsnoise_workload.dir/traffic_gen.cc.o" "gcc" "src/workload/CMakeFiles/dnsnoise_workload.dir/traffic_gen.cc.o.d"
+  "/root/repo/src/workload/zone_model.cc" "src/workload/CMakeFiles/dnsnoise_workload.dir/zone_model.cc.o" "gcc" "src/workload/CMakeFiles/dnsnoise_workload.dir/zone_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resolver/CMakeFiles/dnsnoise_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsnoise_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsnoise_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsnoise_workload.dir/label_gen.cc.o"
+  "CMakeFiles/dnsnoise_workload.dir/label_gen.cc.o.d"
+  "CMakeFiles/dnsnoise_workload.dir/scenario.cc.o"
+  "CMakeFiles/dnsnoise_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/dnsnoise_workload.dir/traffic_gen.cc.o"
+  "CMakeFiles/dnsnoise_workload.dir/traffic_gen.cc.o.d"
+  "CMakeFiles/dnsnoise_workload.dir/zone_model.cc.o"
+  "CMakeFiles/dnsnoise_workload.dir/zone_model.cc.o.d"
+  "libdnsnoise_workload.a"
+  "libdnsnoise_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsnoise_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chr_test.dir/chr_test.cpp.o"
+  "CMakeFiles/chr_test.dir/chr_test.cpp.o.d"
+  "chr_test"
+  "chr_test.pdb"
+  "chr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_capture_test.dir/day_capture_test.cpp.o"
+  "CMakeFiles/day_capture_test.dir/day_capture_test.cpp.o.d"
+  "day_capture_test"
+  "day_capture_test.pdb"
+  "day_capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

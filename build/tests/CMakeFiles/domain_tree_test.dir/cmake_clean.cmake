@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_tree_test.dir/domain_tree_test.cpp.o"
+  "CMakeFiles/domain_tree_test.dir/domain_tree_test.cpp.o.d"
+  "domain_tree_test"
+  "domain_tree_test.pdb"
+  "domain_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_gen_test.dir/label_gen_test.cpp.o"
+  "CMakeFiles/label_gen_test.dir/label_gen_test.cpp.o.d"
+  "label_gen_test"
+  "label_gen_test.pdb"
+  "label_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_tree_test.dir/lad_tree_test.cpp.o"
+  "CMakeFiles/lad_tree_test.dir/lad_tree_test.cpp.o.d"
+  "lad_tree_test"
+  "lad_tree_test.pdb"
+  "lad_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurements_test.dir/measurements_test.cpp.o"
+  "CMakeFiles/measurements_test.dir/measurements_test.cpp.o.d"
+  "measurements_test"
+  "measurements_test.pdb"
+  "measurements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

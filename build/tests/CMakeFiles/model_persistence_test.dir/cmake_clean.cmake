@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_persistence_test.dir/model_persistence_test.cpp.o"
+  "CMakeFiles/model_persistence_test.dir/model_persistence_test.cpp.o.d"
+  "model_persistence_test"
+  "model_persistence_test.pdb"
+  "model_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

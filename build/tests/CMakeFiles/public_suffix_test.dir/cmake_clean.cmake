@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_suffix_test.dir/public_suffix_test.cpp.o"
+  "CMakeFiles/public_suffix_test.dir/public_suffix_test.cpp.o.d"
+  "public_suffix_test"
+  "public_suffix_test.pdb"
+  "public_suffix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_suffix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/related_work_test.cpp" "tests/CMakeFiles/related_work_test.dir/related_work_test.cpp.o" "gcc" "tests/CMakeFiles/related_work_test.dir/related_work_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/dnsnoise_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/miner/CMakeFiles/dnsnoise_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/dnsnoise_netio.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dnsnoise_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnsnoise_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdns/CMakeFiles/dnsnoise_pdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dnsnoise_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsnoise_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsnoise_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsnoise_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_model_test.dir/zone_model_test.cpp.o"
+  "CMakeFiles/zone_model_test.dir/zone_model_test.cpp.o.d"
+  "zone_model_test"
+  "zone_model_test.pdb"
+  "zone_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
