@@ -9,7 +9,10 @@
 // (billions/day); this preset reduces the disposable share and raises the
 // volume so the gap direction and NX asymmetry reproduce clearly.
 
+#include <chrono>
+
 #include "bench_common.h"
+#include "engine/parallel_miner.h"
 
 using namespace dnsnoise;
 using namespace dnsnoise::bench;
@@ -29,7 +32,6 @@ int main() {
   options.cluster.server_count = 2;
   options.warmup_volume_fraction = 0.4;
 
-  Scenario scenario(ScenarioDate::kDec30, options.scale);
   DayCapture capture;
 
   TextTable table({"day", "hour", "below_all", "below_nx", "below_akamai",
@@ -47,8 +49,16 @@ int main() {
     // both days run at steady state.
     ScenarioScale day_scale = options.scale;
     day_scale.traffic_stream = static_cast<std::uint64_t>(day);
-    Scenario day_scenario(ScenarioDate::kDec30, day_scale);
-    simulate_day(day_scenario, capture, options, base_day + day);
+    const EngineReport report =
+        MiningSession(day_scale)
+            .cluster(options.cluster)
+            .warmup(true, options.warmup_volume_fraction)
+            .threads(4)
+            .simulate(ScenarioDate::kDec30, capture, base_day + day);
+    if (!report.ok()) {
+      std::fprintf(stderr, "day %d failed: %s\n", day, report.error.c_str());
+      return 1;
+    }
 
     const HourlySeries& below = capture.below_series();
     const HourlySeries& above = capture.above_series();
@@ -88,5 +98,45 @@ int main() {
                             static_cast<double>(trough_hour_volume),
                         2) +
                   "x)");
+
+  // Engine throughput: the same day-0 preset re-simulated at increasing
+  // worker thread counts.  The figure's 2-server cluster would cap shard
+  // parallelism at 2, so the throughput runs use an 8-shard cluster; the
+  // findings are thread-count invariant, so this is pure wall-clock
+  // scheduling speedup.
+  ClusterConfig speed_cluster = options.cluster;
+  speed_cluster.server_count = 8;
+  std::printf("\nSharded engine throughput (day 0 preset, %d RDNS shards):\n",
+              static_cast<int>(speed_cluster.server_count));
+  TextTable speed({"threads", "wall_s", "events_per_sec", "speedup"});
+  double base_seconds = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ScenarioScale day_scale = options.scale;
+    day_scale.traffic_stream = 0;
+    DayCapture bench_capture;
+    const auto start = std::chrono::steady_clock::now();
+    const EngineReport report =
+        MiningSession(day_scale)
+            .cluster(speed_cluster)
+            .warmup(true, options.warmup_volume_fraction)
+            .threads(threads)
+            .simulate(ScenarioDate::kDec30, bench_capture, base_day);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (!report.ok()) {
+      std::fprintf(stderr, "threads=%zu failed: %s\n", threads,
+                   report.error.c_str());
+      return 1;
+    }
+    if (threads == 1) base_seconds = seconds;
+    const double events =
+        static_cast<double>(report.queries) +
+        static_cast<double>(report.counters.above_answers);
+    speed.add_row({std::to_string(threads), fixed(seconds, 2),
+                   with_commas(static_cast<std::uint64_t>(events / seconds)),
+                   fixed(base_seconds / seconds, 2) + "x"});
+  }
+  std::printf("%s\n", speed.render().c_str());
   return 0;
 }

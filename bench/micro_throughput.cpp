@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dns/wire.h"
+#include "engine/parallel_miner.h"
 #include "features/chr.h"
 #include "features/domain_tree.h"
 #include "miner/pipeline.h"
@@ -84,7 +85,7 @@ void BM_PcapDecodePipeline(benchmark::State& state) {
   for (auto _ : state) {
     CaptureDecoder decoder({Ipv4::from_octets(10, 0, 0, 53)});
     sink_count += decoder.decode_pcap(writer.bytes(),
-                                      [](const TapEvent&) {});
+                                      [](const DecodedResponse&) {});
   }
   benchmark::DoNotOptimize(sink_count);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 1000));
@@ -193,6 +194,42 @@ void BM_ClusterQuery(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ClusterQuery);
+
+void BM_EngineDay(benchmark::State& state) {
+  // One sharded simulated day end to end on the parallel engine; the
+  // argument is the worker thread count.  Results are thread-count
+  // invariant, so this measures pure scheduling speedup.
+  ScenarioScale scale;
+  scale.queries_per_day = 60'000;
+  scale.client_count = 3'000;
+  scale.population_scale = 0.5;
+  ClusterConfig cluster;
+  cluster.server_count = 8;
+  MiningSession session(scale);
+  session.cluster(cluster)
+      .warmup(false)
+      .threads(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    DayCapture capture;
+    const EngineReport report =
+        session.simulate(ScenarioDate::kDec30, capture);
+    if (!report.ok()) {
+      state.SkipWithError(report.error.c_str());
+      return;
+    }
+    queries += report.queries;
+    benchmark::DoNotOptimize(capture.tree().black_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+BENCHMARK(BM_EngineDay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dnsnoise

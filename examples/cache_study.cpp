@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "miner/pipeline.h"
+#include "engine/parallel_miner.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -21,16 +21,22 @@ int main() {
   TextTable table({"disposable_load", "hit_rate", "evictions",
                    "premature_nondisposable", "above_traffic"});
   for (const double multiplier : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-    PipelineOptions options;
-    options.scale.queries_per_day = 200'000;
-    options.scale.client_count = 8'000;
-    options.scale.disposable_traffic_multiplier = multiplier;
-    options.cluster.cache.capacity = 1'500;  // deliberately tight
-    Scenario scenario(ScenarioDate::kDec30, options.scale);
+    ScenarioScale scale;
+    scale.queries_per_day = 200'000;
+    scale.client_count = 8'000;
+    scale.disposable_traffic_multiplier = multiplier;
+    ClusterConfig cluster;
+    cluster.cache.capacity = 1'500;  // deliberately tight
     DayCapture capture;
-    const DnsCacheStats stats =
-        simulate_day(scenario, capture, options,
-                     scenario_day_index(ScenarioDate::kDec30));
+    const EngineReport report = MiningSession(scale)
+                                    .cluster(cluster)
+                                    .threads(4)
+                                    .simulate(ScenarioDate::kDec30, capture);
+    if (!report.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n", report.error.c_str());
+      return 1;
+    }
+    const DnsCacheStats& stats = report.counters.stats;
     table.add_row({fixed(multiplier, 1) + "x", percent(stats.hit_rate(), 1),
                    with_commas(stats.evictions),
                    with_commas(stats.premature_nondisposable_evictions),

@@ -58,30 +58,31 @@ std::vector<std::uint8_t> capture_day_as_pcap() {
   RdnsCluster cluster(options.cluster, scenario.authority());
   PcapWriter writer;
   std::uint16_t txid = 0;
-  cluster.set_below_sink([&](SimTime ts, std::uint64_t client,
-                             const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    const Ipv4 client_ip{0xac100000u +
-                         static_cast<std::uint32_t>(client % 65000)};
-    writer.write(static_cast<std::uint32_t>(ts), 0,
-                 build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+  FunctionTapObserver pcap_tap([&](const TapBatch& batch) {
+    for (const TapEvent& event : batch) {
+      const auto answers = batch.answers(event);
+      DnsMessage msg = DnsMessage::make_response(
+          DnsMessage::make_query(++txid, event.question.name,
+                                 event.question.type),
+          event.rcode, {answers.begin(), answers.end()});
+      if (event.direction == TapDirection::kBelow) {
+        const Ipv4 client_ip{
+            0xac100000u + static_cast<std::uint32_t>(event.client_id % 65000)};
+        writer.write(static_cast<std::uint32_t>(event.ts), 0,
+                     build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+      } else {
+        writer.write(static_cast<std::uint32_t>(event.ts), 0,
+                     build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
+      }
+    }
   });
-  cluster.set_above_sink([&](SimTime ts, const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    writer.write(static_cast<std::uint32_t>(ts), 0,
-                 build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
-  });
+  cluster.add_tap_observer(&pcap_tap);
   scenario.traffic().run_day(
       scenario_day_index(ScenarioDate::kDec30),
       [&cluster](SimTime ts, std::uint64_t client, const QuerySpec& query) {
         cluster.query(client, {DomainName(query.qname), query.qtype}, ts);
       });
+  cluster.flush_taps();
   return writer.bytes();
 }
 
@@ -120,7 +121,7 @@ int main() {
 
   CaptureDecoder decoder({kResolverIp});
   DayCapture capture;
-  decoder.decode_pcap(pcap, [&capture](const TapEvent& event) {
+  decoder.decode_pcap(pcap, [&capture](const DecodedResponse& event) {
     const Question& q = event.message.questions.front();
     if (event.direction == TapDirection::kBelow) {
       capture.on_below(event.ts, event.client_id, q,

@@ -43,30 +43,32 @@ int main(int argc, char** argv) {
   PcapWriter writer;
   std::uint16_t txid = 0;
 
-  cluster.set_below_sink([&](SimTime ts, std::uint64_t client,
-                             const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    const Ipv4 client_ip{0xac100000u + static_cast<std::uint32_t>(client % 65000)};
-    writer.write(static_cast<std::uint32_t>(ts), 0,
-                 build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+  FunctionTapObserver pcap_tap([&](const TapBatch& batch) {
+    for (const TapEvent& event : batch) {
+      const auto answers = batch.answers(event);
+      DnsMessage msg = DnsMessage::make_response(
+          DnsMessage::make_query(++txid, event.question.name,
+                                 event.question.type),
+          event.rcode, {answers.begin(), answers.end()});
+      if (event.direction == TapDirection::kBelow) {
+        const Ipv4 client_ip{
+            0xac100000u + static_cast<std::uint32_t>(event.client_id % 65000)};
+        writer.write(static_cast<std::uint32_t>(event.ts), 0,
+                     build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+      } else {
+        writer.write(static_cast<std::uint32_t>(event.ts), 0,
+                     build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
+      }
+    }
   });
-  cluster.set_above_sink([&](SimTime ts, const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    writer.write(static_cast<std::uint32_t>(ts), 0,
-                 build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
-  });
+  cluster.add_tap_observer(&pcap_tap);
 
   scenario.traffic().run_day(0, [&cluster](SimTime ts, std::uint64_t client,
                                            const QuerySpec& query) {
     if (ts >= kSecondsPerHour) return;  // keep the capture to one hour
     cluster.query(client, {DomainName(query.qname), query.qtype}, ts);
   });
+  cluster.flush_taps();
   writer.save(path);
   std::printf("Wrote %s packets (%s bytes) to %s\n",
               with_commas(writer.packet_count()).c_str(),
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
   DayCapture capture;
   const auto start = std::chrono::steady_clock::now();
   const std::size_t events =
-      decoder.decode_pcap(bytes, [&capture](const TapEvent& event) {
+      decoder.decode_pcap(bytes, [&capture](const DecodedResponse& event) {
         const Question& q = event.message.questions.front();
         if (event.direction == TapDirection::kBelow) {
           capture.on_below(event.ts, event.client_id, q,

@@ -1,31 +1,39 @@
 // Quickstart: run the full disposable-zone mining pipeline on one simulated
 // day of ISP traffic and print what it found.
 //
-//   synthetic ISP day -> RDNS cluster -> monitoring tap
+//   synthetic ISP day -> sharded RDNS cluster -> monitoring tap
 //     -> domain name tree + cache-hit-rate stats
 //     -> LAD-tree classifier -> Algorithm 1 -> ranked disposable zones
+//
+// The day runs on the sharded engine (one shard per RDNS server, scheduled
+// over 4 worker threads) — results are identical to a single-threaded run.
 //
 // Build: cmake -B build -G Ninja && cmake --build build
 // Run:   ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "miner/pipeline.h"
+#include "engine/parallel_miner.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace dnsnoise;
 
 int main() {
-  PipelineOptions options;
-  options.scale.queries_per_day = 150'000;
-  options.scale.client_count = 8'000;
+  ScenarioScale scale;
+  scale.queries_per_day = 150'000;
+  scale.client_count = 8'000;
 
   std::printf("Simulating one day of ISP DNS traffic (%s, %s queries)...\n",
               std::string(scenario_date_name(ScenarioDate::kDec30)).c_str(),
-              with_commas(options.scale.queries_per_day).c_str());
+              with_commas(scale.queries_per_day).c_str());
 
-  const MiningDayResult result = run_mining_day(ScenarioDate::kDec30, options);
+  const MiningDayResult result =
+      MiningSession(scale).threads(4).run(ScenarioDate::kDec30);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining day failed: %s\n", result.error.c_str());
+    return 1;
+  }
 
   std::printf("\nTraining set: %zu labeled zones (%zu disposable)\n",
               result.labeled.size(),

@@ -1,0 +1,229 @@
+#include "engine/parallel_miner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "engine/thread_pool.h"
+
+namespace dnsnoise {
+
+MiningSession::MiningSession(const ScenarioScale& scale) {
+  options_.scale = scale;
+}
+
+MiningSession& MiningSession::scale(const ScenarioScale& scale) {
+  options_.scale = scale;
+  return *this;
+}
+
+MiningSession& MiningSession::cluster(const ClusterConfig& cluster) {
+  options_.cluster = cluster;
+  return *this;
+}
+
+MiningSession& MiningSession::labeler(const LabelerConfig& labeler) {
+  options_.labeler = labeler;
+  return *this;
+}
+
+MiningSession& MiningSession::miner(const MinerConfig& miner) {
+  options_.miner = miner;
+  return *this;
+}
+
+MiningSession& MiningSession::model(const LadTreeConfig& model) {
+  options_.model = model;
+  return *this;
+}
+
+MiningSession& MiningSession::pretrained(const BinaryClassifier* model) {
+  options_.pretrained = model;
+  return *this;
+}
+
+MiningSession& MiningSession::threads(std::size_t n) {
+  threads_ = n;
+  return *this;
+}
+
+MiningSession& MiningSession::warmup(bool enabled, double volume_fraction) {
+  options_.warmup = enabled;
+  options_.warmup_volume_fraction = volume_fraction;
+  return *this;
+}
+
+MiningSession& MiningSession::capture_config(const DayCaptureConfig& config) {
+  options_.capture = config;
+  return *this;
+}
+
+EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture) {
+  return simulate(date, capture, scenario_day_index(date));
+}
+
+EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
+                                     std::int64_t day_index) {
+  EngineReport report;
+  const std::size_t shard_count = options_.cluster.server_count;
+  report.shard_count = shard_count;
+  report.threads = threads_;
+  if (threads_ == 0) {
+    report.status = MiningDayStatus::kInvalidConfig;
+    report.error = "engine needs at least one thread";
+    return report;
+  }
+  if (shard_count == 0) {
+    report.status = MiningDayStatus::kInvalidConfig;
+    report.error = "cluster server_count must be >= 1";
+    return report;
+  }
+  if (shard_count > 1 &&
+      options_.cluster.balancing != Balancing::kClientHash) {
+    report.status = MiningDayStatus::kInvalidConfig;
+    report.error =
+        "sharding by server requires client-hash balancing (kClientHash); "
+        "random/round-robin balancing depends on the global query order";
+    return report;
+  }
+  if (options_.scale.queries_per_day == 0) {
+    report.status = MiningDayStatus::kEmptyCapture;
+    report.error = "scenario volume is zero; nothing to capture";
+    return report;
+  }
+
+  capture.start_day(day_index);
+
+  std::vector<ShardResult> shards;
+  shards.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards.emplace_back(options_.capture);
+  }
+
+  std::atomic<std::uint64_t> queries{0};
+  const auto run_shard = [&](std::size_t index) {
+    ShardResult& shard = shards[index];
+    try {
+      // Every shard builds its own Scenario: zone models mutate while
+      // sampling and the authority keeps lookup counters, so sharing one
+      // instance across workers would race.  Same (date, scale) => same
+      // zone population in every shard.
+      Scenario scenario(date, options_.scale);
+      RdnsCluster cluster(options_.cluster.for_shard(index),
+                          scenario.authority());
+      const TrafficGenerator::ShardSpec spec{shard_count, index};
+      std::uint64_t fed = 0;
+      const auto feed = [&cluster, &fed](SimTime ts, std::uint64_t client,
+                                         const QuerySpec& query) {
+        const auto qname = DomainName::parse(query.qname);
+        if (!qname) return;
+        cluster.query(client, Question{*qname, query.qtype}, ts);
+        ++fed;
+      };
+      if (options_.warmup) {
+        // Same reduced-volume warmup day the classic pipeline runs, shard
+        // filtered: warm clients hash into the same partition, so each
+        // shard cache warms exactly like its server would.
+        ScenarioScale warm_scale = options_.scale;
+        warm_scale.queries_per_day = static_cast<std::uint64_t>(
+            static_cast<double>(warm_scale.queries_per_day) *
+            options_.warmup_volume_fraction);
+        warm_scale.traffic_stream ^= 0xbeefcafeULL;
+        Scenario warm(date, warm_scale);
+        warm.traffic().run_day_shard(day_index - 1, spec, feed);
+        fed = 0;  // warmup queries are not part of the day
+      }
+      shard.capture.start_day(day_index);
+      shard.capture.attach(cluster);
+      scenario.traffic().run_day_shard(day_index, spec, feed);
+      cluster.flush_taps();
+      shard.capture.detach(cluster);
+      shard.counters.stats = cluster.aggregate_stats();
+      shard.counters.below_answers = cluster.below_answers();
+      shard.counters.above_answers = cluster.above_answers();
+      shard.counters.dnssec_validations = cluster.dnssec_validations();
+      shard.counters.dnssec_disposable_validations =
+          cluster.dnssec_disposable_validations();
+      shard.counters.answered_misses = cluster.answered_misses();
+      shard.counters.disposable_answered_misses =
+          cluster.disposable_answered_misses();
+      queries.fetch_add(fed, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      shard.error = e.what();
+    } catch (...) {
+      shard.error = "unknown shard failure";
+    }
+  };
+
+  if (threads_ > 1 && shard_count > 1) {
+    // threads_ - 1 pool workers: the calling thread participates in
+    // parallel_for, so exactly threads_ workers touch shard state.
+    ThreadPool pool(std::min(threads_ - 1, shard_count - 1));
+    pool.parallel_for(shard_count, run_shard);
+  } else {
+    for (std::size_t i = 0; i < shard_count; ++i) run_shard(i);
+  }
+
+  std::string merge_error;
+  report.counters = merge_shards(shards, capture, merge_error);
+  if (!merge_error.empty()) {
+    report.status = MiningDayStatus::kInvalidConfig;
+    report.error = merge_error;
+    return report;
+  }
+  report.queries = queries.load(std::memory_order_relaxed);
+  if (report.queries == 0) {
+    report.status = MiningDayStatus::kEmptyCapture;
+    report.error = "sharded day produced no queries";
+  }
+  return report;
+}
+
+MiningDayResult MiningSession::run(ScenarioDate date) {
+  Scenario scenario(date, options_.scale);
+  DayCapture capture(options_.capture);
+  const EngineReport report =
+      simulate(date, capture, scenario_day_index(date));
+  if (!report.ok()) {
+    MiningDayResult result;
+    result.status = report.status;
+    result.error = report.error;
+    return result;
+  }
+  const MineFn mine = [this](const DisposableZoneMiner& miner,
+                             DomainNameTree& tree,
+                             const CacheHitRateTracker& chr) {
+    return mine_zones_parallel(miner, tree, chr, *options_.miner.psl,
+                               threads_);
+  };
+  return finish_mining_day(capture, scenario, options_, mine);
+}
+
+std::vector<DisposableZoneFinding> mine_zones_parallel(
+    const DisposableZoneMiner& miner, DomainNameTree& tree,
+    const CacheHitRateTracker& chr, const PublicSuffixList& psl,
+    std::size_t threads) {
+  std::vector<DomainNameTree::Node*> roots = tree.effective_2ld_nodes(psl);
+  std::vector<std::vector<DisposableZoneFinding>> outs(roots.size());
+  const auto mine_root = [&](std::size_t i) {
+    // Effective-2LD subtrees are disjoint and decolor touches only the
+    // node, so concurrent zone walks never share mutable state.
+    miner.mine_zone(tree, *roots[i], chr, outs[i]);
+  };
+  if (threads > 1 && roots.size() > 1) {
+    ThreadPool pool(std::min(threads - 1, roots.size() - 1));
+    pool.parallel_for(roots.size(), mine_root);
+  } else {
+    for (std::size_t i = 0; i < roots.size(); ++i) mine_root(i);
+  }
+  std::vector<DisposableZoneFinding> findings;
+  for (std::vector<DisposableZoneFinding>& out : outs) {
+    for (DisposableZoneFinding& finding : out) {
+      findings.push_back(std::move(finding));
+    }
+  }
+  DisposableZoneMiner::sort_findings(findings);
+  return findings;
+}
+
+}  // namespace dnsnoise

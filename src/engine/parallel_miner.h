@@ -1,0 +1,96 @@
+// Sharded parallel mining engine — the redesigned front door of the daily
+// pipeline.
+//
+// MiningSession is a fluent builder over PipelineOptions plus a thread
+// count.  run() executes the same logical day as run_mining_day, but:
+//
+//   * the simulated day is partitioned by RDNS server (one shard per
+//     server; requires client-hash balancing for server_count > 1),
+//   * each shard runs on the work-stealing pool with its own Scenario,
+//     single-server RdnsCluster (seed split per shard, see
+//     ClusterConfig::for_shard) and thread-local DayCapture,
+//   * shard captures are merged in shard-index order (see shard_merge.h),
+//   * the classify stage fans Algorithm 1 over the effective-2LD zones on
+//     the same pool (subtrees are disjoint, so zone mining is race-free),
+//     and re-ranks with the total-order finding sort.
+//
+// Shard decomposition is fixed by server_count — threads only schedule
+// shards — and per-shard seeds derive from the scenario seed, so
+// threads(1) and threads(N) produce byte-identical findings.
+//
+//   const MiningDayResult result = MiningSession(scale)
+//                                      .cluster(cluster_config)
+//                                      .threads(4)
+//                                      .pretrained(&model)
+//                                      .run(ScenarioDate::kSep2011);
+//   if (!result.ok()) { /* result.error */ }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/shard_merge.h"
+#include "miner/pipeline.h"
+
+namespace dnsnoise {
+
+/// What the simulation half of an engine day produced (cluster-side view;
+/// the capture itself goes to the caller's DayCapture).
+struct EngineReport {
+  MiningDayStatus status = MiningDayStatus::kOk;
+  std::string error;  // non-empty when !ok()
+  std::size_t shard_count = 0;
+  std::size_t threads = 0;
+  std::uint64_t queries = 0;  // client queries fed below the cluster
+  ShardCounters counters;
+
+  bool ok() const noexcept { return status == MiningDayStatus::kOk; }
+};
+
+class MiningSession {
+ public:
+  explicit MiningSession(const ScenarioScale& scale = {});
+
+  // --- Fluent configuration (each returns *this) ---------------------------
+  MiningSession& scale(const ScenarioScale& scale);
+  MiningSession& cluster(const ClusterConfig& cluster);
+  MiningSession& labeler(const LabelerConfig& labeler);
+  MiningSession& miner(const MinerConfig& miner);
+  MiningSession& model(const LadTreeConfig& model);
+  /// Mine with an already-trained classifier (must outlive run()).
+  MiningSession& pretrained(const BinaryClassifier* model);
+  /// Worker threads for the shard and classify stages (>= 1).  Changes the
+  /// schedule only, never the results.
+  MiningSession& threads(std::size_t n);
+  MiningSession& warmup(bool enabled, double volume_fraction = 0.5);
+  MiningSession& capture_config(const DayCaptureConfig& config);
+
+  const PipelineOptions& options() const noexcept { return options_; }
+  std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Simulates one sharded day into `capture` (start_day(day_index)-reset
+  /// here, the engine's single reset point — mirrors simulate_day), without
+  /// mining.  On a non-ok() report the capture contents are unspecified.
+  EngineReport simulate(ScenarioDate date, DayCapture& capture,
+                        std::int64_t day_index);
+  /// Same, with day_index = scenario_day_index(date).
+  EngineReport simulate(ScenarioDate date, DayCapture& capture);
+
+  /// Runs the full mining day (simulate + label/train + parallel classify +
+  /// evaluate).  Check result.ok() before using the findings.
+  MiningDayResult run(ScenarioDate date);
+
+ private:
+  PipelineOptions options_;
+  std::size_t threads_ = 1;
+};
+
+/// Parallel drop-in for DisposableZoneMiner::mine: fans mine_zone over the
+/// effective-2LD zones on `threads` workers and sorts with the total-order
+/// ranking.  Output is identical to the serial mine().
+std::vector<DisposableZoneFinding> mine_zones_parallel(
+    const DisposableZoneMiner& miner, DomainNameTree& tree,
+    const CacheHitRateTracker& chr, const PublicSuffixList& psl,
+    std::size_t threads);
+
+}  // namespace dnsnoise

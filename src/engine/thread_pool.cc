@@ -1,0 +1,148 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <latch>
+
+namespace dnsnoise {
+
+namespace {
+// Index of the worker deque owned by the current thread, or npos when the
+// thread does not belong to a pool.  One pool at a time per thread is
+// enough for the engine (pools are scoped to a simulate/mine call).
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+thread_local std::size_t tls_worker_index = kNoWorker;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(threads, 1);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard lock(wait_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t here = tls_worker_index;
+  const std::size_t target =
+      here != kNoWorker && here < workers_.size()
+          ? here
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    // Incrementing under wait_mutex_ pairs with the workers' predicate
+    // check, closing the missed-wakeup window between check and wait.
+    std::lock_guard lock(wait_mutex_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+  // Own deque first, back (LIFO)...
+  {
+    Worker& own = *workers_[index];
+    std::lock_guard lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ...then steal from a victim's front (FIFO).
+  for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
+    Worker& victim = *workers_[(index + offset) % workers_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  task();
+  task = nullptr;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last pending task: wake wait_idle() under the lock so the waiter
+    // cannot miss the notification between its check and its wait.
+    std::lock_guard lock(wait_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(index, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lock(wait_mutex_);
+    work_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  tls_worker_index = kNoWorker;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(wait_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t helpers = std::min(thread_count(), n);
+  auto done = std::make_shared<std::latch>(
+      static_cast<std::ptrdiff_t>(helpers));
+  const auto drain = [next, &body, n] {
+    for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([drain, done] {
+      drain();
+      done->count_down();
+    });
+  }
+  // The caller joins the index race instead of blocking idle.
+  drain();
+  done->wait();
+}
+
+}  // namespace dnsnoise

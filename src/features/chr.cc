@@ -30,6 +30,15 @@ void CacheHitRateTracker::record_above(const std::string& name, RRType type,
   ++counts.above;
 }
 
+void CacheHitRateTracker::merge_from(const CacheHitRateTracker& other) {
+  for (const auto& [key, src] : other.entries_) {
+    Counts& dst = entry_for(key.name, key.type, key.rdata);
+    if (dst.below + dst.above == 0) dst.ttl = src.ttl;
+    dst.below += src.below;
+    dst.above += src.above;
+  }
+}
+
 const CacheHitRateTracker::Counts* CacheHitRateTracker::find(
     const RRKey& key) const {
   const auto it = index_.find(key);

@@ -38,6 +38,11 @@ class CacheHitRateTracker {
   /// Counts for one RR, or nullptr if never seen.
   const Counts* find(const RRKey& key) const;
 
+  /// Sums `other`'s per-RR counts into this tracker (shard merging).  An RR
+  /// new to this tracker is appended in `other`'s entry order and takes
+  /// other's TTL; an RR present in both keeps this tracker's TTL.
+  void merge_from(const CacheHitRateTracker& other);
+
   /// Domain hit rate of an RR's counts (0 when it was never queried below,
   /// clamped at 0 when above > below).
   static double dhr(const Counts& counts) noexcept;

@@ -24,11 +24,22 @@ DomainNameTree::Node& DomainNameTree::insert(const DomainName& name) {
     ++node_count_;
     node = raw;
   }
-  if (!node->black && node != root_.get()) {
-    node->black = true;
-    ++black_count_;
-  }
+  if (node != root_.get()) node->black = true;
   return *node;
+}
+
+namespace {
+
+std::size_t count_black(const DomainNameTree::Node& node) {
+  std::size_t count = node.black ? 1 : 0;
+  for (const auto& [label, child] : node.children) count += count_black(*child);
+  return count;
+}
+
+}  // namespace
+
+std::size_t DomainNameTree::black_count() const noexcept {
+  return count_black(*root_);
 }
 
 DomainNameTree::Node* DomainNameTree::find(const DomainName& name) {
@@ -46,11 +57,29 @@ const DomainNameTree::Node* DomainNameTree::find(
   return const_cast<DomainNameTree*>(this)->find(name);
 }
 
-void DomainNameTree::decolor(Node& node) noexcept {
-  if (node.black) {
-    node.black = false;
-    --black_count_;
-  }
+void DomainNameTree::merge_from(const DomainNameTree& other) {
+  // Recursive union; `dst` and `src` are corresponding nodes.
+  const auto merge_node = [this](auto&& self, Node& dst,
+                                 const Node& src) -> void {
+    if (src.black) dst.black = true;
+    for (const auto& [label, src_child] : src.children) {
+      const auto it = dst.children.find(label);
+      Node* dst_child = nullptr;
+      if (it != dst.children.end()) {
+        dst_child = it->second.get();
+      } else {
+        auto child = std::make_unique<Node>();
+        child->label = label;
+        child->parent = &dst;
+        child->depth = dst.depth + 1;
+        dst_child = child.get();
+        dst.children.emplace(dst_child->label, std::move(child));
+        ++node_count_;
+      }
+      self(self, *dst_child, *src_child);
+    }
+  };
+  merge_node(merge_node, *root_, *other.root_);
 }
 
 std::string DomainNameTree::full_name(const Node& node) {

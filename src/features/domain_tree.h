@@ -45,10 +45,21 @@ class DomainNameTree {
   const Node& root() const noexcept { return *root_; }
 
   std::size_t node_count() const noexcept { return node_count_; }
-  std::size_t black_count() const noexcept { return black_count_; }
 
-  /// Turns a black node white.
-  void decolor(Node& node) noexcept;
+  /// Number of black nodes, counted by traversal.  O(node_count); meant for
+  /// per-day summaries and tests, not hot loops.
+  std::size_t black_count() const noexcept;
+
+  /// Turns a black node white.  Touches only `node` — no shared tree state —
+  /// so concurrent decolors in disjoint subtrees are race-free (the parallel
+  /// miner relies on this).
+  static void decolor(Node& node) noexcept { node.black = false; }
+
+  /// Unions `other` into this tree: every node of `other` is created here
+  /// if absent, and black nodes stay black (black |= other.black).  Node and
+  /// black counts follow.  Children live in ordered maps, so the merged
+  /// traversal order is independent of merge order (shard merging).
+  void merge_from(const DomainNameTree& other);
 
   /// Reconstructs the full domain name of a node ("" for the root).
   static std::string full_name(const Node& node);
@@ -68,7 +79,6 @@ class DomainNameTree {
  private:
   std::unique_ptr<Node> root_;
   std::size_t node_count_ = 1;
-  std::size_t black_count_ = 0;
 };
 
 }  // namespace dnsnoise

@@ -42,13 +42,9 @@ void DisposableZoneMiner::mine_zone(
   }
 }
 
-std::vector<DisposableZoneFinding> DisposableZoneMiner::mine(
-    DomainNameTree& tree, const CacheHitRateTracker& chr) const {
-  std::vector<DisposableZoneFinding> out;
-  for (DomainNameTree::Node* zone : tree.effective_2ld_nodes(*config_.psl)) {
-    mine_zone(tree, *zone, chr, out);
-  }
-  std::sort(out.begin(), out.end(),
+void DisposableZoneMiner::sort_findings(
+    std::vector<DisposableZoneFinding>& findings) {
+  std::sort(findings.begin(), findings.end(),
             [](const DisposableZoneFinding& a, const DisposableZoneFinding& b) {
               if (a.confidence != b.confidence) {
                 return a.confidence > b.confidence;
@@ -56,8 +52,18 @@ std::vector<DisposableZoneFinding> DisposableZoneMiner::mine(
               if (a.group_size != b.group_size) {
                 return a.group_size > b.group_size;
               }
-              return a.zone < b.zone;
+              if (a.zone != b.zone) return a.zone < b.zone;
+              return a.depth < b.depth;
             });
+}
+
+std::vector<DisposableZoneFinding> DisposableZoneMiner::mine(
+    DomainNameTree& tree, const CacheHitRateTracker& chr) const {
+  std::vector<DisposableZoneFinding> out;
+  for (DomainNameTree::Node* zone : tree.effective_2ld_nodes(*config_.psl)) {
+    mine_zone(tree, *zone, chr, out);
+  }
+  sort_findings(out);
   return out;
 }
 

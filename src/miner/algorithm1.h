@@ -47,10 +47,17 @@ class DisposableZoneMiner {
   std::vector<DisposableZoneFinding> mine(DomainNameTree& tree,
                                           const CacheHitRateTracker& chr) const;
 
-  /// Runs Algorithm 1 rooted at one zone node (exposed for tests).
+  /// Runs Algorithm 1 rooted at one zone node (exposed for tests and the
+  /// parallel engine, which fans mine_zone over effective 2LDs).
   void mine_zone(DomainNameTree& tree, DomainNameTree::Node& zone,
                  const CacheHitRateTracker& chr,
                  std::vector<DisposableZoneFinding>& out) const;
+
+  /// Ranks findings by confidence desc, group size desc, then (zone, depth)
+  /// asc.  The key is a total order over distinct findings, so any
+  /// permutation of `findings` — e.g. from parallel per-zone mining — sorts
+  /// to the same sequence.
+  static void sort_findings(std::vector<DisposableZoneFinding>& findings);
 
  private:
   const BinaryClassifier& model_;

@@ -6,17 +6,21 @@ namespace dnsnoise {
 
 DayCapture::DayCapture(const DayCaptureConfig& config) : config_(config) {}
 
-void DayCapture::attach(RdnsCluster& cluster) {
-  cluster.set_below_sink([this](SimTime ts, std::uint64_t client_id,
-                                const Question& question, RCode rcode,
-                                std::span<const ResourceRecord> answers) {
-    on_below(ts, client_id, question, rcode, answers);
-  });
-  cluster.set_above_sink([this](SimTime ts, const Question& question,
-                                RCode rcode,
-                                std::span<const ResourceRecord> answers) {
-    on_above(ts, question, rcode, answers);
-  });
+void DayCapture::attach(RdnsCluster& cluster) { cluster.add_tap_observer(this); }
+
+void DayCapture::detach(RdnsCluster& cluster) {
+  cluster.remove_tap_observer(this);
+}
+
+void DayCapture::on_tap_batch(const TapBatch& batch) {
+  for (const TapEvent& event : batch) {
+    if (event.direction == TapDirection::kBelow) {
+      on_below(event.ts, event.client_id, event.question, event.rcode,
+               batch.answers(event));
+    } else {
+      on_above(event.ts, event.question, event.rcode, batch.answers(event));
+    }
+  }
 }
 
 void DayCapture::start_day(std::int64_t day_index) {
@@ -28,6 +32,17 @@ void DayCapture::start_day(std::int64_t day_index) {
   queried_.clear();
   resolved_.clear();
   fpdns_.clear();
+}
+
+void DayCapture::merge_from(const DayCapture& other) {
+  tree_.merge_from(other.tree_);
+  chr_.merge_from(other.chr_);
+  below_ += other.below_;
+  above_ += other.above_;
+  queried_.insert(other.queried_.begin(), other.queried_.end());
+  resolved_.insert(other.resolved_.begin(), other.resolved_.end());
+  fpdns_.append(other.fpdns_);
+  rpdns_.merge_from(other.rpdns_);
 }
 
 void DayCapture::bump(HourlySeries& series, SimTime ts, std::uint64_t units,

@@ -1,10 +1,12 @@
 // DayCapture: the monitoring tap of one simulated day.
 //
-// Subscribes to an RdnsCluster's below/above answer streams and accumulates
-// everything the paper's analyses need for that day: the domain name tree
-// of resolved names, per-RR cache-hit-rate counts, hourly traffic-volume
-// series with tenant attribution (Fig. 2), unique queried/resolved name
-// sets, and optionally the raw fpDNS entries and rpDNS/pDNS-DB feeds.
+// Subscribes to an RdnsCluster's batched tap stream (TapObserver) and
+// accumulates everything the paper's analyses need for that day: the domain
+// name tree of resolved names, per-RR cache-hit-rate counts, hourly
+// traffic-volume series with tenant attribution (Fig. 2), unique
+// queried/resolved name sets, and optionally the raw fpDNS entries and
+// rpDNS/pDNS-DB feeds.  Captures are mergeable: the sharded engine runs one
+// DayCapture per RDNS-server shard and unions them (see merge_from).
 #pragma once
 
 #include <array>
@@ -17,6 +19,7 @@
 #include "pdns/fpdns.h"
 #include "pdns/rpdns.h"
 #include "resolver/cluster.h"
+#include "resolver/tap.h"
 #include "util/sim_time.h"
 
 namespace dnsnoise {
@@ -38,6 +41,17 @@ struct HourlySeries {
     for (const std::uint64_t v : nxdomain) sum += v;
     return sum;
   }
+
+  /// Slot-wise addition (shard merging).
+  HourlySeries& operator+=(const HourlySeries& other) noexcept {
+    for (std::size_t h = 0; h < 24; ++h) {
+      total[h] += other.total[h];
+      nxdomain[h] += other.nxdomain[h];
+      google[h] += other.google[h];
+      akamai[h] += other.akamai[h];
+    }
+    return *this;
+  }
 };
 
 struct DayCaptureConfig {
@@ -46,13 +60,21 @@ struct DayCaptureConfig {
   std::int64_t day_index = 0;    // used for rpDNS first-seen dates
 };
 
-class DayCapture {
+class DayCapture final : public TapObserver {
  public:
   explicit DayCapture(const DayCaptureConfig& config = {});
 
-  /// Installs this capture as the cluster's below/above sinks.  The capture
-  /// must outlive the cluster's use of those sinks.
+  /// Subscribes this capture to the cluster's batched tap stream.  The
+  /// capture must stay registered-valid until detach() (or the cluster is
+  /// destroyed, which flushes to it).
   void attach(RdnsCluster& cluster);
+
+  /// Flushes pending cluster batches to this capture and unsubscribes.
+  void detach(RdnsCluster& cluster);
+
+  /// TapObserver: dispatches each batched event into the per-direction
+  /// accumulators below.
+  void on_tap_batch(const TapBatch& batch) override;
 
   /// Direct sink entry points (exposed for pcap-driven ingestion paths).
   void on_below(SimTime ts, std::uint64_t client_id, const Question& question,
@@ -60,9 +82,18 @@ class DayCapture {
   void on_above(SimTime ts, const Question& question, RCode rcode,
                 std::span<const ResourceRecord> answers);
 
-  /// Advances to a new day: clears the per-day state (tree, CHR, series,
-  /// name sets) but keeps the cumulative rpDNS store.
+  /// Advances to a new day.  This is the ONE reset point of a capture:
+  /// clears all per-day state (tree, CHR, hourly series, name sets, fpDNS
+  /// entries) but keeps the cumulative cross-day rpDNS store.  Every
+  /// simulate/run entry point calls this before feeding a day.
   void start_day(std::int64_t day_index);
+
+  /// Unions another capture of the SAME day into this one: domain-tree
+  /// union, CHR count summation, hourly-series addition, name-set union,
+  /// fpDNS append, rpDNS first-seen merge.  Merging shard captures in shard
+  /// order yields a deterministic result regardless of how many threads
+  /// produced them.
+  void merge_from(const DayCapture& other);
 
   DomainNameTree& tree() noexcept { return tree_; }
   const DomainNameTree& tree() const noexcept { return tree_; }
@@ -70,6 +101,7 @@ class DayCapture {
   const CacheHitRateTracker& chr() const noexcept { return chr_; }
   RpDnsDataset& rpdns() noexcept { return rpdns_; }
   const RpDnsDataset& rpdns() const noexcept { return rpdns_; }
+  FpDnsDataset& fpdns() noexcept { return fpdns_; }
   const FpDnsDataset& fpdns() const noexcept { return fpdns_; }
 
   const HourlySeries& below_series() const noexcept { return below_; }

@@ -36,21 +36,23 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
   capture.start_day(day_index);
   capture.attach(cluster);
   drive_day(scenario.traffic(), cluster, day_index);
-  // Detach: the capture may outlive this cluster.
-  cluster.set_below_sink({});
-  cluster.set_above_sink({});
+  // Flush pending tap batches and detach: the capture may outlive this
+  // cluster.
+  cluster.flush_taps();
+  capture.detach(cluster);
   return cluster.aggregate_stats();
 }
 
-MiningDayResult run_mining_day(ScenarioDate date,
-                               const PipelineOptions& options,
-                               DayCapture* capture) {
-  Scenario scenario(date, options.scale);
-  DayCapture local_capture(options.capture);
-  DayCapture& tap = capture != nullptr ? *capture : local_capture;
-  simulate_day(scenario, tap, options, scenario_day_index(date));
-
+MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
+                                  const PipelineOptions& options,
+                                  const MineFn& mine) {
   MiningDayResult result;
+  if (tap.tree().black_count() == 0) {
+    result.status = MiningDayStatus::kEmptyCapture;
+    result.error =
+        "mining day captured no resolved names; check traffic volume";
+    return result;
+  }
   result.labeled =
       label_zones(tap.tree(), tap.chr(), scenario, options.labeler);
   LadTree own_model(options.model);
@@ -61,7 +63,8 @@ MiningDayResult run_mining_day(ScenarioDate date,
   }
 
   const DisposableZoneMiner miner(*model, options.miner);
-  result.findings = miner.mine(tap.tree(), tap.chr());
+  result.findings = mine ? mine(miner, tap.tree(), tap.chr())
+                         : miner.mine(tap.tree(), tap.chr());
   result.evaluation = evaluate_findings(result.findings, scenario.truth());
 
   const FindingIndex index(result.findings);
@@ -82,6 +85,16 @@ MiningDayResult run_mining_day(ScenarioDate date,
     if (parsed && index.is_disposable(*parsed)) ++agg.disposable_rrs;
   }
   return result;
+}
+
+MiningDayResult run_mining_day(ScenarioDate date,
+                               const PipelineOptions& options,
+                               DayCapture* capture) {
+  Scenario scenario(date, options.scale);
+  DayCapture local_capture(options.capture);
+  DayCapture& tap = capture != nullptr ? *capture : local_capture;
+  simulate_day(scenario, tap, options, scenario_day_index(date));
+  return finish_mining_day(tap, scenario, options);
 }
 
 }  // namespace dnsnoise

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "miner/algorithm1.h"
@@ -44,17 +46,36 @@ struct DayAggregates {
   std::size_t disposable_rrs = 0;
 };
 
+/// Status channel for a mining day.  Callers must check ok() before using
+/// findings/evaluation/aggregates.
+enum class MiningDayStatus {
+  kOk = 0,
+  /// The day's capture held no resolved names (e.g. a zero-volume scale);
+  /// labeling/training on it would silently produce a degenerate model.
+  kEmptyCapture,
+  /// The requested configuration cannot run (engine: non-client-hash
+  /// balancing with more than one shard, zero threads, ...).
+  kInvalidConfig,
+};
+
 struct MiningDayResult {
+  MiningDayStatus status = MiningDayStatus::kOk;
+  /// Human-readable diagnosis when !ok().
+  std::string error;
   std::vector<LabeledZone> labeled;
   std::vector<DisposableZoneFinding> findings;
   MiningEvaluation evaluation;
   DayAggregates aggregates;
+
+  bool ok() const noexcept { return status == MiningDayStatus::kOk; }
 };
 
 /// Runs one full mining day for `date`: simulate, label, train a fresh LAD
-/// tree, run Algorithm 1, evaluate against ground truth, and compute the
-/// day's disposable-share aggregates.  `capture`, when provided, receives
-/// the day's tap data for further analysis (it is start_day()-reset first).
+/// tree (or apply options.pretrained), run Algorithm 1, evaluate against
+/// ground truth, and compute the day's disposable-share aggregates.
+/// `capture`, when provided, receives the day's tap data for further
+/// analysis.  Returns a non-ok() result instead of mining when the day's
+/// capture is empty.
 MiningDayResult run_mining_day(ScenarioDate date,
                                const PipelineOptions& options = {},
                                DayCapture* capture = nullptr);
@@ -62,8 +83,30 @@ MiningDayResult run_mining_day(ScenarioDate date,
 /// Simulates one day of `scenario` traffic into `capture` (with optional
 /// warmup day at reduced volume), without mining.  Returns the cluster's
 /// aggregate cache stats.
+///
+/// `capture` is taken by reference and reset exactly once, here, via
+/// DayCapture::start_day(day_index) — the single documented reset point:
+/// per-day state (tree, CHR, series, name sets, fpDNS) is cleared, the
+/// cumulative rpDNS store is kept.  Warmup traffic runs before the reset,
+/// so it warms the caches without polluting the capture.
 DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
                            const PipelineOptions& options,
                            std::int64_t day_index);
+
+/// Alternative mining strategy for finish_mining_day: produce findings from
+/// the (tree, chr) pair using `miner`.  Must be output-equivalent to
+/// DisposableZoneMiner::mine (the engine supplies a parallel fan-out).
+using MineFn = std::function<std::vector<DisposableZoneFinding>(
+    const DisposableZoneMiner& miner, DomainNameTree& tree,
+    const CacheHitRateTracker& chr)>;
+
+/// The post-capture half of a mining day, shared by run_mining_day and the
+/// sharded engine: label zones, train (or reuse options.pretrained), mine
+/// via `mine` (serial DisposableZoneMiner::mine when empty), evaluate, and
+/// compute aggregates.  Returns kEmptyCapture without mining when `tap`
+/// saw no resolved names.
+MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
+                                  const PipelineOptions& options,
+                                  const MineFn& mine = {});
 
 }  // namespace dnsnoise

@@ -19,7 +19,7 @@ bool CaptureDecoder::is_resolver(const Endpoint& ep) const noexcept {
   return !ep.is_v6 && resolver_ips_.contains(ep.v4.value);
 }
 
-std::optional<TapEvent> CaptureDecoder::decode(
+std::optional<DecodedResponse> CaptureDecoder::decode(
     SimTime ts, std::span<const std::uint8_t> frame) {
   const auto pkt = parse_frame(frame);
   if (!pkt) {
@@ -37,7 +37,7 @@ std::optional<TapEvent> CaptureDecoder::decode(
     ++dropped_;
     return std::nullopt;
   }
-  TapEvent event;
+  DecodedResponse event;
   event.ts = ts;
   if (is_resolver(pkt->src)) {
     event.direction = TapDirection::kBelow;
@@ -56,7 +56,7 @@ std::optional<TapEvent> CaptureDecoder::decode(
 
 std::size_t CaptureDecoder::decode_pcap(
     std::span<const std::uint8_t> pcap_bytes,
-    const std::function<void(const TapEvent&)>& sink) {
+    const std::function<void(const DecodedResponse&)>& sink) {
   PcapReader reader(pcap_bytes);
   std::size_t produced = 0;
   while (auto record = reader.next_view()) {

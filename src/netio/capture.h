@@ -19,18 +19,15 @@
 #include "dns/message.h"
 #include "netio/packet.h"
 #include "netio/pcap.h"
+#include "resolver/tap.h"  // TapDirection — shared with the cluster tap API
 #include "util/sim_time.h"
 
 namespace dnsnoise {
 
-/// Which side of the RDNS cluster a response was observed on.
-enum class TapDirection : std::uint8_t {
-  kBelow,  // RDNS -> client
-  kAbove,  // authority -> RDNS
-};
-
-/// One observed DNS response.
-struct TapEvent {
+/// One observed DNS response, fully decoded.  Unlike the cluster's
+/// lightweight TapEvent (resolver/tap.h), this carries the whole message —
+/// the pcap path pays decode cost anyway and callers want header access.
+struct DecodedResponse {
   SimTime ts = 0;
   TapDirection direction = TapDirection::kBelow;
   /// Anonymized client identifier (below only; 0 for above events).
@@ -48,13 +45,14 @@ class CaptureDecoder {
 
   /// Decodes one frame.  Returns std::nullopt for anything that is not a
   /// well-formed DNS response touching the cluster on port 53.
-  std::optional<TapEvent> decode(SimTime ts,
-                                 std::span<const std::uint8_t> frame);
+  std::optional<DecodedResponse> decode(
+      SimTime ts, std::span<const std::uint8_t> frame);
 
   /// Runs a whole pcap buffer through the decoder, invoking `sink` per
   /// event.  Returns the number of events produced.
-  std::size_t decode_pcap(std::span<const std::uint8_t> pcap_bytes,
-                          const std::function<void(const TapEvent&)>& sink);
+  std::size_t decode_pcap(
+      std::span<const std::uint8_t> pcap_bytes,
+      const std::function<void(const DecodedResponse&)>& sink);
 
   /// Frames seen that failed any parse/filter stage.
   std::uint64_t dropped() const noexcept { return dropped_; }

@@ -1,5 +1,6 @@
 #include "pdns/fpdns.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -104,6 +105,13 @@ void FpDnsDataset::add_response(SimTime ts, std::uint64_t client_id,
     entry.rdata = rr.rdata;
     entries_.push_back(std::move(entry));
   }
+}
+
+void FpDnsDataset::stable_sort_by_time() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const FpDnsEntry& a, const FpDnsEntry& b) {
+                     return a.ts < b.ts;
+                   });
 }
 
 std::vector<std::uint8_t> FpDnsDataset::serialize() const {

@@ -52,6 +52,19 @@ class FpDnsDataset {
                     FpDirection direction, const Question& question,
                     RCode rcode, std::span<const ResourceRecord> answers);
 
+  /// Appends every entry of `other` (shard merging).  Shards record
+  /// time-ordered slices of interleaved client populations, so call
+  /// stable_sort_by_time() once after the last append to restore the
+  /// chronological order a single tap would have produced.
+  void append(const FpDnsDataset& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+  }
+
+  /// Stable time sort: entries with equal timestamps keep their append
+  /// order, so merging shards in shard order stays deterministic.
+  void stable_sort_by_time();
+
   std::span<const FpDnsEntry> entries() const noexcept { return entries_; }
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }

@@ -1,11 +1,15 @@
 #include "resolver/cluster.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace dnsnoise {
 
 RdnsCluster::RdnsCluster(const ClusterConfig& config,
                          const SyntheticAuthority& authority)
     : authority_(authority),
       balancing_(config.balancing),
+      tap_batch_events_(std::max<std::size_t>(config.tap_batch_events, 1)),
       rng_(config.seed) {
   if (config.server_count == 0) {
     throw std::invalid_argument("RdnsCluster: server_count must be > 0");
@@ -16,10 +20,54 @@ RdnsCluster::RdnsCluster(const ClusterConfig& config,
   }
 }
 
+RdnsCluster::~RdnsCluster() { flush_taps(); }
+
+void RdnsCluster::add_tap_observer(TapObserver* observer) {
+  if (observer == nullptr) {
+    throw std::invalid_argument("RdnsCluster: null tap observer");
+  }
+  if (std::find(observers_.begin(), observers_.end(), observer) ==
+      observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void RdnsCluster::remove_tap_observer(TapObserver* observer) {
+  flush_taps();
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void RdnsCluster::flush_taps() {
+  if (tap_events_.empty()) return;
+  const TapBatch batch(tap_events_, tap_answers_);
+  for (TapObserver* observer : observers_) observer->on_tap_batch(batch);
+  tap_events_.clear();
+  tap_answers_.clear();
+}
+
+void RdnsCluster::buffer_tap_event(SimTime ts, TapDirection direction,
+                                   std::uint64_t client_id,
+                                   const Question& question, RCode rcode,
+                                   std::span<const ResourceRecord> answers) {
+  TapEvent event;
+  event.ts = ts;
+  event.direction = direction;
+  event.client_id = client_id;
+  event.rcode = rcode;
+  event.question = question;
+  event.answer_offset = static_cast<std::uint32_t>(tap_answers_.size());
+  event.answer_count = static_cast<std::uint32_t>(answers.size());
+  tap_answers_.insert(tap_answers_.end(), answers.begin(), answers.end());
+  tap_events_.push_back(std::move(event));
+  if (tap_events_.size() >= tap_batch_events_) flush_taps();
+}
+
 std::size_t RdnsCluster::pick_server(std::uint64_t client_id) {
   switch (balancing_) {
     case Balancing::kClientHash:
-      return static_cast<std::size_t>(mix64(client_id) % caches_.size());
+      // Must match the traffic shard routing: see shard_of() in util/rng.h.
+      return shard_of(client_id, caches_.size());
     case Balancing::kRandom:
       return static_cast<std::size_t>(rng_.below(caches_.size()));
     case Balancing::kRoundRobin: {
@@ -56,6 +104,10 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
       ++dnssec_validations_;
       if (upstream.disposable_zone) ++dnssec_disposable_validations_;
     }
+    if (!observers_.empty()) {
+      buffer_tap_event(now, TapDirection::kAbove, 0, question, upstream.rcode,
+                       upstream.answers);
+    }
     if (above_sink_) {
       above_sink_(now, question, upstream.rcode, upstream.answers);
     }
@@ -68,6 +120,10 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
   }
 
   ++below_answers_;
+  if (!observers_.empty()) {
+    buffer_tap_event(now, TapDirection::kBelow, client_id, question,
+                     outcome.rcode, outcome.answers);
+  }
   if (below_sink_) {
     below_sink_(now, client_id, question, outcome.rcode, outcome.answers);
   }
@@ -76,17 +132,7 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
 
 DnsCacheStats RdnsCluster::aggregate_stats() const {
   DnsCacheStats total;
-  for (const DnsCache& cache : caches_) {
-    const DnsCacheStats& s = cache.stats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.expired_misses += s.expired_misses;
-    total.inserts += s.inserts;
-    total.evictions += s.evictions;
-    total.premature_evictions += s.premature_evictions;
-    total.premature_nondisposable_evictions +=
-        s.premature_nondisposable_evictions;
-  }
+  for (const DnsCache& cache : caches_) accumulate(total, cache.stats());
   return total;
 }
 

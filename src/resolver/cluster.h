@@ -2,10 +2,11 @@
 //
 // Reproduces the paper's vantage point (Section III-A): client queries are
 // load-balanced across a cluster of recursive servers, each with an
-// independent cache.  Observers can subscribe to the two answer streams the
+// independent cache.  Observers subscribe to the two answer streams the
 // monitoring tap records — "below" (server -> client) and "above"
 // (authority -> server) — and to nothing else, exactly like the paper's
-// black-box view.
+// black-box view.  Delivery is batched through the TapObserver API (see
+// resolver/tap.h); the legacy per-answer sinks remain as deprecated shims.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "dns/message.h"
 #include "resolver/authority.h"
 #include "resolver/dns_cache.h"
+#include "resolver/tap.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -33,6 +35,21 @@ struct ClusterConfig {
   Balancing balancing = Balancing::kClientHash;
   DnsCacheConfig cache;
   std::uint64_t seed = 1;
+  /// Tap events buffered before observers receive a batch.  Larger batches
+  /// amortize dispatch further at the cost of arena memory; 1 degenerates
+  /// to per-event delivery.
+  std::size_t tap_batch_events = 256;
+
+  /// The configuration of one shard of this cluster: a single-server slice
+  /// whose RNG stream is split off the cluster seed per shard index (never
+  /// the shared seed itself — sibling shards must not correlate).  The
+  /// engine builds one RdnsCluster per shard from these.
+  ClusterConfig for_shard(std::size_t shard_index) const {
+    ClusterConfig shard = *this;
+    shard.server_count = 1;
+    shard.seed = shard_seed(seed, shard_index);
+    return shard;
+  }
 };
 
 /// Result of one client query, as seen below the cluster.
@@ -48,6 +65,32 @@ class RdnsCluster {
   /// `authority` must outlive the cluster.
   RdnsCluster(const ClusterConfig& config, const SyntheticAuthority& authority);
 
+  /// Destruction flushes any buffered tap events to the observers still
+  /// registered (which must therefore outlive the cluster or be removed
+  /// first).
+  ~RdnsCluster();
+
+  RdnsCluster(const RdnsCluster&) = delete;
+  RdnsCluster& operator=(const RdnsCluster&) = delete;
+
+  // --- Tap observation (the redesigned API) --------------------------------
+
+  /// Registers `observer` for batched tap delivery.  The observer must stay
+  /// valid until removed or until the cluster is destroyed.
+  void add_tap_observer(TapObserver* observer);
+
+  /// Flushes buffered events, then unregisters `observer`.  Unknown
+  /// observers are ignored.
+  void remove_tap_observer(TapObserver* observer);
+
+  /// Delivers any buffered events to all observers immediately.  Call after
+  /// the last query of a run so trailing events are not stuck in the batch.
+  void flush_taps();
+
+  std::size_t tap_observer_count() const noexcept { return observers_.size(); }
+
+  // --- Legacy sink API (deprecated shims) ----------------------------------
+
   /// Answer stream below the cluster (every answered client query).
   using BelowSink =
       std::function<void(SimTime, std::uint64_t client_id, const Question&,
@@ -56,8 +99,16 @@ class RdnsCluster {
   using AboveSink = std::function<void(SimTime, const Question&, RCode,
                                        std::span<const ResourceRecord>)>;
 
-  void set_below_sink(BelowSink sink) { below_sink_ = std::move(sink); }
-  void set_above_sink(AboveSink sink) { above_sink_ = std::move(sink); }
+  [[deprecated("subscribe a TapObserver via add_tap_observer instead")]]
+  void set_below_sink(BelowSink sink) {
+    below_sink_ = std::move(sink);
+  }
+  [[deprecated("subscribe a TapObserver via add_tap_observer instead")]]
+  void set_above_sink(AboveSink sink) {
+    above_sink_ = std::move(sink);
+  }
+
+  // -------------------------------------------------------------------------
 
   /// Resolves one client query at simulated time `now`.
   QueryOutcome query(std::uint64_t client_id, const Question& question,
@@ -98,9 +149,13 @@ class RdnsCluster {
  private:
   const SyntheticAuthority& authority_;
   Balancing balancing_;
+  std::size_t tap_batch_events_;
   std::vector<DnsCache> caches_;
   Rng rng_;
   std::size_t round_robin_next_ = 0;
+  std::vector<TapObserver*> observers_;
+  std::vector<TapEvent> tap_events_;
+  std::vector<ResourceRecord> tap_answers_;
   BelowSink below_sink_;
   AboveSink above_sink_;
   std::uint64_t below_answers_ = 0;
@@ -111,6 +166,9 @@ class RdnsCluster {
   std::uint64_t disposable_answered_misses_ = 0;
 
   std::size_t pick_server(std::uint64_t client_id);
+  void buffer_tap_event(SimTime ts, TapDirection direction,
+                        std::uint64_t client_id, const Question& question,
+                        RCode rcode, std::span<const ResourceRecord> answers);
 };
 
 }  // namespace dnsnoise

@@ -55,6 +55,20 @@ struct DnsCacheStats {
   }
 };
 
+/// Adds `delta` into `total` field-wise — the one definition of cache-stat
+/// merging, shared by cluster aggregation and engine shard merging.
+inline void accumulate(DnsCacheStats& total,
+                       const DnsCacheStats& delta) noexcept {
+  total.hits += delta.hits;
+  total.misses += delta.misses;
+  total.expired_misses += delta.expired_misses;
+  total.inserts += delta.inserts;
+  total.evictions += delta.evictions;
+  total.premature_evictions += delta.premature_evictions;
+  total.premature_nondisposable_evictions +=
+      delta.premature_nondisposable_evictions;
+}
+
 class DnsCache {
  public:
   explicit DnsCache(const DnsCacheConfig& config);

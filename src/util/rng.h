@@ -30,6 +30,23 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   return splitmix64(s);
 }
 
+/// Shard routing: maps an entity ID onto one of `count` shards through the
+/// splitmix64 finalizer, so consecutive IDs spread uniformly.  Both the
+/// cluster's client-hash balancing and the engine's by-server traffic
+/// sharding use this single definition — they MUST agree for shard
+/// decomposition to reproduce the monolithic routing.
+constexpr std::size_t shard_of(std::uint64_t id, std::size_t count) noexcept {
+  return static_cast<std::size_t>(mix64(id) % count);
+}
+
+/// Derives the seed of shard `index` from a base seed.  Every shard gets an
+/// independently mixed stream — never hand the same raw seed to sibling
+/// shards, or their "random" decisions correlate.
+constexpr std::uint64_t shard_seed(std::uint64_t base,
+                                   std::uint64_t index) noexcept {
+  return mix64(base ^ mix64(index ^ 0xd1b54a32d192ed03ULL));
+}
+
 /// FNV-1a 64-bit hash of a byte string; used to derive per-entity seeds.
 constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;

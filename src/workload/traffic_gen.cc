@@ -23,8 +23,10 @@ void TrafficGenerator::add_model(std::shared_ptr<ZoneModel> model,
   cumulative_weights_.push_back(base + weight);
 }
 
-std::size_t TrafficGenerator::pick_model() {
-  const double u = rng_.uniform() * cumulative_weights_.back();
+std::size_t TrafficGenerator::pick_model() { return pick_model(rng_); }
+
+std::size_t TrafficGenerator::pick_model(Rng& rng) const {
+  const double u = rng.uniform() * cumulative_weights_.back();
   const auto it = std::upper_bound(cumulative_weights_.begin(),
                                    cumulative_weights_.end(), u);
   const auto idx = static_cast<std::size_t>(it - cumulative_weights_.begin());
@@ -61,6 +63,45 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
       const std::uint64_t client =
           client_id_for_rank(client_activity_.sample(rng_));
       const QuerySpec query = models_[pick_model()]->sample_query(rng_);
+      sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
+    }
+  }
+}
+
+void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
+                                     const QuerySink& sink) {
+  if (models_.empty()) {
+    throw std::logic_error("TrafficGenerator: no models registered");
+  }
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("TrafficGenerator: bad shard spec");
+  }
+  const SimTime day_start = day * kSecondsPerDay;
+  const double diurnal_total = config_.diurnal.total();
+  std::uint64_t slot = 0;  // global query index across the whole day
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto count = static_cast<std::uint64_t>(
+        static_cast<double>(config_.queries_per_day) *
+            config_.diurnal.weight(hour) / diurnal_total +
+        0.5);
+    if (count == 0) continue;
+    const SimTime hour_start = day_start + hour * kSecondsPerHour;
+    const double spacing =
+        static_cast<double>(kSecondsPerHour) / static_cast<double>(count);
+    for (std::uint64_t i = 0; i < count; ++i, ++slot) {
+      // Per-slot stream: every shard derives the same Rng for a given slot,
+      // so a slot's draws don't depend on which other slots ran before it.
+      Rng q = rng_.fork(mix64(static_cast<std::uint64_t>(day)) ^ slot);
+      const SimTime ts =
+          hour_start +
+          static_cast<SimTime>((static_cast<double>(i) + q.uniform()) *
+                               spacing);
+      const std::uint64_t client =
+          client_id_for_rank(client_activity_.sample(q));
+      // Shard filter after the client draw: skipped slots cost one fork and
+      // one Zipf sample, never a zone-model mutation.
+      if (shard_of(client, shard.count) != shard.index) continue;
+      const QuerySpec query = models_[pick_model(q)]->sample_query(q);
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }
   }

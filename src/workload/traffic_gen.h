@@ -43,6 +43,22 @@ class TrafficGenerator {
   /// Generates one day of queries in non-decreasing timestamp order.
   void run_day(std::int64_t day, const QuerySink& sink);
 
+  /// One shard of a client-hash partitioned day (see util/rng.h shard_of).
+  struct ShardSpec {
+    std::size_t count = 1;  // total shards (RDNS server count)
+    std::size_t index = 0;  // this shard, in [0, count)
+  };
+
+  /// Generates the subset of run_day's stream whose clients hash to
+  /// `shard.index` (shard_of(client, shard.count)).  Each query slot derives
+  /// its own RNG stream from (day, slot), so a slot's timestamp, client and
+  /// query are identical no matter which shard — or run_day-equivalent
+  /// single stream — draws them.  Concatenating all shards therefore yields
+  /// a client-partition of one fixed day; it is NOT the same stream run_day
+  /// produces from its single sequential RNG.
+  void run_day_shard(std::int64_t day, const ShardSpec& shard,
+                     const QuerySink& sink);
+
   /// Stable client ID for an activity rank (exposed for tests).
   std::uint64_t client_id_for_rank(std::size_t rank) const noexcept;
 
@@ -54,6 +70,7 @@ class TrafficGenerator {
   std::vector<double> cumulative_weights_;
 
   std::size_t pick_model();
+  std::size_t pick_model(Rng& rng) const;
 };
 
 }  // namespace dnsnoise

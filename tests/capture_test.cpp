@@ -114,9 +114,9 @@ TEST(CaptureTest, PcapEndToEnd) {
                                       sample_answer("three.example.com")));
 
   auto decoder = make_decoder();
-  std::vector<TapEvent> events;
+  std::vector<DecodedResponse> events;
   const std::size_t produced = decoder.decode_pcap(
-      writer.bytes(), [&events](const TapEvent& e) { events.push_back(e); });
+      writer.bytes(), [&events](const DecodedResponse& e) { events.push_back(e); });
   ASSERT_EQ(produced, 2u);
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].direction, TapDirection::kBelow);

@@ -100,7 +100,97 @@ TEST(ClusterTest, NegativeCacheReducesAboveTraffic) {
   EXPECT_EQ(cluster.above_answers(), 1u);
 }
 
-TEST(ClusterTest, SinksObserveBothDirections) {
+TEST(ClusterTest, TapObserverSeesBothDirections) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+
+  std::vector<std::string> below_names;
+  std::vector<std::string> above_names;
+  FunctionTapObserver observer([&](const TapBatch& batch) {
+    for (const TapEvent& event : batch) {
+      if (event.direction == TapDirection::kBelow) {
+        below_names.push_back(event.question.name.text());
+        EXPECT_EQ(event.client_id, 1u);
+        EXPECT_FALSE(batch.answers(event).empty());
+      } else {
+        above_names.push_back(event.question.name.text());
+      }
+    }
+  });
+  cluster.add_tap_observer(&observer);
+  EXPECT_EQ(cluster.tap_observer_count(), 1u);
+
+  cluster.query(1, question("a.example.com"), 0);   // miss
+  cluster.query(1, question("a.example.com"), 1);   // hit
+  cluster.flush_taps();
+  ASSERT_EQ(below_names.size(), 2u);
+  ASSERT_EQ(above_names.size(), 1u);
+  EXPECT_EQ(above_names[0], "a.example.com");
+  cluster.remove_tap_observer(&observer);
+  EXPECT_EQ(cluster.tap_observer_count(), 0u);
+}
+
+TEST(ClusterTest, TapBatchesFlushAtConfiguredSizeAndPreserveOrder) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  config.tap_batch_events = 3;
+  RdnsCluster cluster(config, authority);
+
+  std::size_t batches = 0;
+  std::vector<TapDirection> directions;
+  FunctionTapObserver observer([&](const TapBatch& batch) {
+    ++batches;
+    EXPECT_LE(batch.size(), 3u);
+    for (const TapEvent& event : batch) directions.push_back(event.direction);
+  });
+  cluster.add_tap_observer(&observer);
+
+  // Miss emits (above, below); two hits emit one below each: 4 events, so
+  // the first batch flushes at 3 mid-stream and flush_taps drains the rest.
+  cluster.query(1, question("a.example.com"), 0);
+  cluster.query(1, question("a.example.com"), 1);
+  cluster.query(1, question("a.example.com"), 2);
+  EXPECT_EQ(batches, 1u);
+  cluster.flush_taps();
+  EXPECT_EQ(batches, 2u);
+  const std::vector<TapDirection> expected = {
+      TapDirection::kAbove, TapDirection::kBelow, TapDirection::kBelow,
+      TapDirection::kBelow};
+  EXPECT_EQ(directions, expected);
+}
+
+TEST(ClusterTest, RemovingObserverFlushesPendingEvents) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+  std::size_t events = 0;
+  FunctionTapObserver observer(
+      [&events](const TapBatch& batch) { events += batch.size(); });
+  cluster.add_tap_observer(&observer);
+  cluster.query(1, question("a.example.com"), 0);
+  cluster.remove_tap_observer(&observer);
+  EXPECT_EQ(events, 2u);  // above + below, delivered by the removal flush
+}
+
+TEST(ClusterTest, NullOrDuplicateObserverIsRejected) {
+  const SyntheticAuthority authority = make_authority();
+  ClusterConfig config;
+  config.server_count = 1;
+  RdnsCluster cluster(config, authority);
+  EXPECT_THROW(cluster.add_tap_observer(nullptr), std::invalid_argument);
+  FunctionTapObserver observer([](const TapBatch&) {});
+  cluster.add_tap_observer(&observer);
+  cluster.add_tap_observer(&observer);  // deduplicated, not double-delivered
+  EXPECT_EQ(cluster.tap_observer_count(), 1u);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ClusterTest, LegacySinkShimsStillObserveBothDirections) {
   const SyntheticAuthority authority = make_authority();
   ClusterConfig config;
   config.server_count = 1;
@@ -124,6 +214,7 @@ TEST(ClusterTest, SinksObserveBothDirections) {
   ASSERT_EQ(above_names.size(), 1u);
   EXPECT_EQ(above_names[0], "a.example.com");
 }
+#pragma GCC diagnostic pop
 
 TEST(ClusterTest, DnssecCountersTrackSignedMisses) {
   SyntheticAuthority authority;

@@ -120,9 +120,11 @@ TEST(DayCaptureTest, AttachWiresClusterSinks) {
   capture.attach(cluster);
   cluster.query(1, question("w.example.com"), 10);
   cluster.query(1, question("w.example.com"), 20);
+  cluster.flush_taps();  // tap events are batched until flushed
   EXPECT_EQ(capture.below_series().sum_total(), 2u);
   EXPECT_EQ(capture.above_series().sum_total(), 1u);
   EXPECT_EQ(capture.unique_resolved(), 1u);
+  capture.detach(cluster);  // capture dies before the cluster does
 }
 
 }  // namespace

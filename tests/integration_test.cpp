@@ -27,43 +27,44 @@ TEST(IntegrationTest, PcapRoundTripMatchesDirectCapture) {
   cluster_config.server_count = 2;
   RdnsCluster cluster(cluster_config, scenario.authority());
 
-  // Direct capture + pcap materialization side by side.
+  // Direct capture + pcap materialization side by side, both fed from the
+  // same batched tap stream.
   DayCapture direct;
+  direct.attach(cluster);
   PcapWriter pcap;
   std::uint16_t txid = 0;
-
-  cluster.set_below_sink([&](SimTime ts, std::uint64_t client,
-                             const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    direct.on_below(ts, client, q, rcode, answers);
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    const Ipv4 client_ip{kClientBase.value +
-                         static_cast<std::uint32_t>(client % 65536)};
-    pcap.write(static_cast<std::uint32_t>(ts), 0,
-               build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+  FunctionTapObserver pcap_writer([&](const TapBatch& batch) {
+    for (const TapEvent& event : batch) {
+      const auto answers = batch.answers(event);
+      DnsMessage msg = DnsMessage::make_response(
+          DnsMessage::make_query(++txid, event.question.name,
+                                 event.question.type),
+          event.rcode, {answers.begin(), answers.end()});
+      if (event.direction == TapDirection::kBelow) {
+        const Ipv4 client_ip{
+            kClientBase.value +
+            static_cast<std::uint32_t>(event.client_id % 65536)};
+        pcap.write(static_cast<std::uint32_t>(event.ts), 0,
+                   build_dns_frame(kResolverIp, 53, client_ip, 40000, msg));
+      } else {
+        pcap.write(static_cast<std::uint32_t>(event.ts), 0,
+                   build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
+      }
+    }
   });
-  cluster.set_above_sink([&](SimTime ts, const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    direct.on_above(ts, q, rcode, answers);
-    DnsMessage msg = DnsMessage::make_response(
-        DnsMessage::make_query(++txid, q.name, q.type), rcode,
-        {answers.begin(), answers.end()});
-    pcap.write(static_cast<std::uint32_t>(ts), 0,
-               build_dns_frame(kAuthorityIp, 53, kResolverIp, 5353, msg));
-  });
+  cluster.add_tap_observer(&pcap_writer);
 
   scenario.traffic().run_day(0, [&cluster](SimTime ts, std::uint64_t client,
                                            const QuerySpec& query) {
     cluster.query(client, {DomainName(query.qname), query.qtype}, ts);
   });
+  cluster.flush_taps();
 
   // Replay the pcap through the capture pipeline into a second DayCapture.
   CaptureDecoder decoder({kResolverIp});
   DayCapture replayed;
-  const std::size_t events =
-      decoder.decode_pcap(pcap.bytes(), [&replayed](const TapEvent& event) {
+  const std::size_t events = decoder.decode_pcap(
+      pcap.bytes(), [&replayed](const DecodedResponse& event) {
         ASSERT_FALSE(event.message.questions.empty());
         const Question& q = event.message.questions.front();
         if (event.direction == TapDirection::kBelow) {

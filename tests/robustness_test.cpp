@@ -27,21 +27,25 @@ void simulate_lossy_day(Scenario& scenario, DayCapture& capture,
                         double loss, std::uint64_t seed) {
   RdnsCluster cluster(options.cluster, scenario.authority());
   Rng drop_rng(seed);
-  cluster.set_below_sink([&](SimTime ts, std::uint64_t client,
-                             const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    if (drop_rng.chance(loss)) return;
-    capture.on_below(ts, client, q, rcode, answers);
+  FunctionTapObserver lossy_tap([&](const TapBatch& batch) {
+    for (const TapEvent& event : batch) {
+      if (drop_rng.chance(loss)) continue;
+      if (event.direction == TapDirection::kBelow) {
+        capture.on_below(event.ts, event.client_id, event.question,
+                         event.rcode, batch.answers(event));
+      } else {
+        capture.on_above(event.ts, event.question, event.rcode,
+                         batch.answers(event));
+      }
+    }
   });
-  cluster.set_above_sink([&](SimTime ts, const Question& q, RCode rcode,
-                             std::span<const ResourceRecord> answers) {
-    if (drop_rng.chance(loss)) return;
-    capture.on_above(ts, q, rcode, answers);
-  });
+  cluster.add_tap_observer(&lossy_tap);
   scenario.traffic().run_day(day, [&cluster](SimTime ts, std::uint64_t client,
                                              const QuerySpec& query) {
     cluster.query(client, {DomainName(query.qname), query.qtype}, ts);
   });
+  cluster.flush_taps();
+  cluster.remove_tap_observer(&lossy_tap);
 }
 
 class TapLossTest : public ::testing::TestWithParam<double> {};

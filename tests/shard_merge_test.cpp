@@ -1,0 +1,179 @@
+// Shard-merge unit tests: the per-structure union/summation operations the
+// engine composes (see engine/shard_merge.h).
+#include "engine/shard_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "features/chr.h"
+#include "features/domain_tree.h"
+
+namespace dnsnoise {
+namespace {
+
+Question question(const char* name) { return {DomainName(name), RRType::A}; }
+
+std::vector<ResourceRecord> answer_rrs(const char* name, std::uint32_t ttl,
+                                       const char* rdata = "10.0.0.1") {
+  return {{DomainName(name), RRType::A, ttl, rdata}};
+}
+
+TEST(ShardMergeTest, DomainTreeUnionKeepsBlackNodesAndCounts) {
+  DomainNameTree a;
+  a.insert(DomainName("x.example.com"));
+  a.insert(DomainName("shared.example.com"));
+  DomainNameTree b;
+  b.insert(DomainName("y.example.com"));
+  b.insert(DomainName("shared.example.com"));
+  b.insert(DomainName("deep.y.example.com"));
+
+  a.merge_from(b);
+  EXPECT_EQ(a.black_count(), 4u);  // x, y, shared, deep.y
+  // root + com + example + x + shared + y + deep = 7
+  EXPECT_EQ(a.node_count(), 7u);
+  const auto* deep = a.find(DomainName("deep.y.example.com"));
+  ASSERT_NE(deep, nullptr);
+  EXPECT_TRUE(deep->black);
+  EXPECT_EQ(deep->depth, 4u);
+  EXPECT_EQ(DomainNameTree::full_name(*deep), "deep.y.example.com");
+  // y was only inserted as a leaf in b, black there; x untouched by merge.
+  EXPECT_TRUE(a.find(DomainName("y.example.com"))->black);
+  EXPECT_TRUE(a.find(DomainName("x.example.com"))->black);
+  // Intermediate nodes stay white.
+  EXPECT_FALSE(a.find(DomainName("example.com"))->black);
+}
+
+TEST(ShardMergeTest, DomainTreeMergeIsIdempotentOnEqualTrees) {
+  DomainNameTree a;
+  a.insert(DomainName("x.example.com"));
+  DomainNameTree b;
+  b.insert(DomainName("x.example.com"));
+  a.merge_from(b);
+  EXPECT_EQ(a.black_count(), 1u);
+  EXPECT_EQ(a.node_count(), 4u);
+}
+
+TEST(ShardMergeTest, ChrMergeSumsBelowAndAboveCounts) {
+  CacheHitRateTracker a;
+  a.record_below("a.example.com", RRType::A, "10.0.0.1", 60);
+  a.record_below("a.example.com", RRType::A, "10.0.0.1");
+  a.record_above("a.example.com", RRType::A, "10.0.0.1");
+  CacheHitRateTracker b;
+  b.record_below("a.example.com", RRType::A, "10.0.0.1", 90);
+  b.record_above("b.example.com", RRType::A, "10.0.0.2", 30);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.unique_rrs(), 2u);
+  const auto* shared = a.find({"a.example.com", RRType::A, "10.0.0.1"});
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->below, 3u);
+  EXPECT_EQ(shared->above, 1u);
+  EXPECT_EQ(shared->ttl, 60u);  // the merge target's TTL wins
+  const auto* fresh = a.find({"b.example.com", RRType::A, "10.0.0.2"});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->below, 0u);
+  EXPECT_EQ(fresh->above, 1u);
+  EXPECT_EQ(fresh->ttl, 30u);  // new entry takes the source's TTL
+}
+
+TEST(ShardMergeTest, HourlySeriesAddsSlotWise) {
+  HourlySeries a;
+  a.total[3] = 5;
+  a.nxdomain[3] = 1;
+  a.google[7] = 2;
+  HourlySeries b;
+  b.total[3] = 7;
+  b.akamai[9] = 4;
+  a += b;
+  EXPECT_EQ(a.total[3], 12u);
+  EXPECT_EQ(a.nxdomain[3], 1u);
+  EXPECT_EQ(a.google[7], 2u);
+  EXPECT_EQ(a.akamai[9], 4u);
+  EXPECT_EQ(a.sum_total(), 12u);
+}
+
+TEST(ShardMergeTest, RpdnsMergeKeepsEarliestFirstSeen) {
+  RpDnsDataset a;
+  a.add({"x.example.com", RRType::A, "10.0.0.1"}, 5);
+  RpDnsDataset b;
+  b.add({"x.example.com", RRType::A, "10.0.0.1"}, 3);
+  b.add({"y.example.com", RRType::A, "10.0.0.2"}, 4);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.unique_records(), 2u);
+  EXPECT_EQ(a.first_seen({"x.example.com", RRType::A, "10.0.0.1"}), 3);
+  EXPECT_EQ(a.new_records_on(5), 0u);  // moved to day 3
+  EXPECT_EQ(a.new_records_on(3), 1u);
+  EXPECT_EQ(a.new_records_on(4), 1u);
+}
+
+TEST(ShardMergeTest, DayCaptureMergeUnionsEverything) {
+  DayCaptureConfig config;
+  config.keep_fpdns = true;
+  config.feed_rpdns = true;
+  DayCapture a(config);
+  DayCapture b(config);
+  a.start_day(1);
+  b.start_day(1);
+  a.on_below(2 * kSecondsPerHour, 1, question("a.example.com"),
+             RCode::NoError, answer_rrs("a.example.com", 60));
+  b.on_below(1 * kSecondsPerHour, 2, question("b.example.com"),
+             RCode::NoError, answer_rrs("b.example.com", 60, "10.0.0.2"));
+  b.on_above(3 * kSecondsPerHour, question("a.example.com"), RCode::NoError,
+             answer_rrs("a.example.com", 60));
+
+  a.merge_from(b);
+  a.fpdns().stable_sort_by_time();
+  EXPECT_EQ(a.unique_queried(), 2u);
+  EXPECT_EQ(a.unique_resolved(), 2u);
+  EXPECT_EQ(a.tree().black_count(), 2u);
+  EXPECT_EQ(a.chr().unique_rrs(), 2u);
+  EXPECT_EQ(a.below_series().sum_total(), 2u);
+  EXPECT_EQ(a.above_series().sum_total(), 1u);
+  EXPECT_EQ(a.rpdns().unique_records(), 2u);
+  ASSERT_EQ(a.fpdns().size(), 3u);
+  // Sorted back into tap time order: b's below entry came first.
+  EXPECT_EQ(a.fpdns().entries()[0].qname, "b.example.com");
+  EXPECT_EQ(a.fpdns().entries()[1].qname, "a.example.com");
+  const auto* counts = a.chr().find({"a.example.com", RRType::A, "10.0.0.1"});
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->below, 1u);
+  EXPECT_EQ(counts->above, 1u);
+}
+
+TEST(ShardMergeTest, MergeShardsStopsAtFirstError) {
+  std::vector<ShardResult> shards;
+  shards.emplace_back();
+  shards.emplace_back();
+  shards[0].counters.below_answers = 3;
+  shards[1].error = "boom";
+  shards[1].counters.below_answers = 9;
+
+  DayCapture total;
+  total.start_day(0);
+  std::string error;
+  merge_shards(shards, total, error);
+  EXPECT_EQ(error, "shard 1: boom");
+}
+
+TEST(ShardMergeTest, MergeShardsSumsCounters) {
+  std::vector<ShardResult> shards;
+  shards.emplace_back();
+  shards.emplace_back();
+  shards[0].counters.below_answers = 3;
+  shards[0].counters.above_answers = 1;
+  shards[0].counters.stats.hits = 2;
+  shards[1].counters.below_answers = 4;
+  shards[1].counters.stats.hits = 5;
+
+  DayCapture total;
+  total.start_day(0);
+  std::string error;
+  const ShardCounters counters = merge_shards(shards, total, error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(counters.below_answers, 7u);
+  EXPECT_EQ(counters.above_answers, 1u);
+  EXPECT_EQ(counters.stats.hits, 7u);
+}
+
+}  // namespace
+}  // namespace dnsnoise
