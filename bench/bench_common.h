@@ -11,6 +11,8 @@
 
 #include "miner/pipeline.h"
 #include "ml/lad_tree.h"
+#include "obs/json_snapshot.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -40,6 +42,22 @@ inline void print_header(const std::string& id, const std::string& title) {
 inline void print_claim(const std::string& paper, const std::string& measured) {
   std::printf("  paper:    %s\n  measured: %s\n", paper.c_str(),
               measured.c_str());
+}
+
+/// Serializes `registry` through the obs JSON exporter into
+/// BENCH_<bench_name>.json in the working directory (the file
+/// tools/check_bench_regression.py compares against its committed
+/// baseline).  Returns the path, or "" if the file could not be written.
+inline std::string write_bench_json(const std::string& bench_name,
+                                    const obs::MetricsRegistry& registry) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  const std::string json =
+      obs::to_json(registry.snapshot(), {{"bench", bench_name}});
+  if (!obs::write_json_file(path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return "";
+  }
+  return path;
 }
 
 /// Simulates one capture day of `date` (with warmup) and returns the

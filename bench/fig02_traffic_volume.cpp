@@ -109,6 +109,7 @@ int main() {
   std::printf("\nSharded engine throughput (day 0 preset, %d RDNS shards):\n",
               static_cast<int>(speed_cluster.server_count));
   TextTable speed({"threads", "wall_s", "events_per_sec", "speedup"});
+  obs::MetricsRegistry bench_registry;
   double base_seconds = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     ScenarioScale day_scale = options.scale;
@@ -136,7 +137,15 @@ int main() {
     speed.add_row({std::to_string(threads), fixed(seconds, 2),
                    with_commas(static_cast<std::uint64_t>(events / seconds)),
                    fixed(base_seconds / seconds, 2) + "x"});
+    const std::string prefix =
+        "engine_day.threads" + std::to_string(threads);
+    bench_registry.gauge(prefix + ".wall_seconds").set(seconds);
+    bench_registry.gauge(prefix + ".events_per_sec").set(events / seconds);
   }
   std::printf("%s\n", speed.render().c_str());
+
+  const std::string bench_path = write_bench_json("fig02", bench_registry);
+  if (bench_path.empty()) return 1;
+  std::printf("wrote %s\n", bench_path.c_str());
   return 0;
 }

@@ -5,9 +5,15 @@
 // These justify the "high-throughput pcap parsing" claim of the
 // reproduction: the decode path comfortably sustains ISP-tap packet rates
 // on one core.
+//
+// Besides the usual console table, every run exports its results as
+// BENCH_micro_throughput.json via the obs JSON exporter (schema
+// dnsnoise-metrics-v1); CI feeds that file to
+// tools/check_bench_regression.py to gate throughput regressions.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "dns/wire.h"
 #include "engine/parallel_miner.h"
 #include "features/chr.h"
@@ -231,7 +237,59 @@ BENCHMARK(BM_EngineDay)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus one gauge per result into the registry:
+// bench.<name>.{wall_seconds,iterations,items_per_sec,bytes_per_sec} with
+// '/' in benchmark names mapped to '.' (BM_EngineDay/4 ->
+// bench.BM_EngineDay.4.*).  The *_per_sec gauges are what the regression
+// checker compares.
+class RegistryReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit RegistryReporter(obs::MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/' || c == ':') c = '.';
+      }
+      const std::string prefix = "bench." + name;
+      registry_->gauge(prefix + ".wall_seconds")
+          .set(run.real_accumulated_time);
+      registry_->gauge(prefix + ".iterations")
+          .set(static_cast<double>(run.iterations));
+      // Rate counters are already finalized (per-second) by the time the
+      // reporter runs.
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        registry_->gauge(prefix + ".items_per_sec").set(items->second);
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        registry_->gauge(prefix + ".bytes_per_sec").set(bytes->second);
+      }
+    }
+  }
+
+ private:
+  obs::MetricsRegistry* registry_;
+};
+
 }  // namespace
 }  // namespace dnsnoise
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dnsnoise::obs::MetricsRegistry registry;
+  dnsnoise::RegistryReporter reporter(&registry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path =
+      dnsnoise::bench::write_bench_json("micro_throughput", registry);
+  if (path.empty()) return 1;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

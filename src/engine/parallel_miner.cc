@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace dnsnoise {
 
@@ -58,6 +59,12 @@ MiningSession& MiningSession::capture_config(const DayCaptureConfig& config) {
   return *this;
 }
 
+MiningSession& MiningSession::enable_metrics(bool enabled) {
+  metrics_ = enabled ? std::make_shared<obs::MetricsRegistry>() : nullptr;
+  options_.metrics = metrics_.get();
+  return *this;
+}
+
 EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture) {
   return simulate(date, capture, scenario_day_index(date));
 }
@@ -100,17 +107,23 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
     shards.emplace_back(options_.capture);
   }
 
+  obs::MetricsRegistry* const metrics = metrics_.get();
+  obs::Timer* const shard_timer =
+      metrics != nullptr ? &metrics->timer("engine.shard") : nullptr;
+
   std::atomic<std::uint64_t> queries{0};
   const auto run_shard = [&](std::size_t index) {
     ShardResult& shard = shards[index];
     try {
+      obs::StageTimer shard_span(shard_timer);
       // Every shard builds its own Scenario: zone models mutate while
       // sampling and the authority keeps lookup counters, so sharing one
       // instance across workers would race.  Same (date, scale) => same
       // zone population in every shard.
       Scenario scenario(date, options_.scale);
-      RdnsCluster cluster(options_.cluster.for_shard(index),
-                          scenario.authority());
+      ClusterConfig shard_config = options_.cluster.for_shard(index);
+      shard_config.metrics = metrics;
+      RdnsCluster cluster(shard_config, scenario.authority());
       const TrafficGenerator::ShardSpec spec{shard_count, index};
       std::uint64_t fed = 0;
       const auto feed = [&cluster, &fed](SimTime ts, std::uint64_t client,
@@ -135,6 +148,9 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       }
       shard.capture.start_day(day_index);
       shard.capture.attach(cluster);
+      // Instrument the measured day only; warmup queries already fed above
+      // through an uninstrumented generator.
+      scenario.traffic().set_metrics(metrics);
       scenario.traffic().run_day_shard(day_index, spec, feed);
       cluster.flush_taps();
       shard.capture.detach(cluster);
@@ -148,6 +164,11 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       shard.counters.disposable_answered_misses =
           cluster.disposable_answered_misses();
       queries.fetch_add(fed, std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->gauge("engine.shard" + std::to_string(index) +
+                       ".wall_seconds")
+            .set(shard_span.elapsed_seconds());
+      }
     } catch (const std::exception& e) {
       shard.error = e.what();
     } catch (...) {
@@ -158,14 +179,18 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
   if (threads_ > 1 && shard_count > 1) {
     // threads_ - 1 pool workers: the calling thread participates in
     // parallel_for, so exactly threads_ workers touch shard state.
-    ThreadPool pool(std::min(threads_ - 1, shard_count - 1));
+    ThreadPool pool(std::min(threads_ - 1, shard_count - 1), metrics);
     pool.parallel_for(shard_count, run_shard);
   } else {
     for (std::size_t i = 0; i < shard_count; ++i) run_shard(i);
   }
 
   std::string merge_error;
-  report.counters = merge_shards(shards, capture, merge_error);
+  {
+    const obs::StageTimer merge_span(
+        metrics != nullptr ? &metrics->timer("engine.merge") : nullptr);
+    report.counters = merge_shards(shards, capture, merge_error);
+  }
   if (!merge_error.empty()) {
     report.status = MiningDayStatus::kInvalidConfig;
     report.error = merge_error;
@@ -203,6 +228,9 @@ std::vector<DisposableZoneFinding> mine_zones_parallel(
     const DisposableZoneMiner& miner, DomainNameTree& tree,
     const CacheHitRateTracker& chr, const PublicSuffixList& psl,
     std::size_t threads) {
+  obs::MetricsRegistry* const metrics = miner.config().metrics;
+  const obs::StageTimer classify_span(
+      metrics != nullptr ? &metrics->timer("engine.classify") : nullptr);
   std::vector<DomainNameTree::Node*> roots = tree.effective_2ld_nodes(psl);
   std::vector<std::vector<DisposableZoneFinding>> outs(roots.size());
   const auto mine_root = [&](std::size_t i) {
@@ -211,7 +239,7 @@ std::vector<DisposableZoneFinding> mine_zones_parallel(
     miner.mine_zone(tree, *roots[i], chr, outs[i]);
   };
   if (threads > 1 && roots.size() > 1) {
-    ThreadPool pool(std::min(threads - 1, roots.size() - 1));
+    ThreadPool pool(std::min(threads - 1, roots.size() - 1), metrics);
     pool.parallel_for(roots.size(), mine_root);
   } else {
     for (std::size_t i = 0; i < roots.size(); ++i) mine_root(i);

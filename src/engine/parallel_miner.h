@@ -27,10 +27,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "engine/shard_merge.h"
 #include "miner/pipeline.h"
+
+namespace dnsnoise::obs {
+class MetricsRegistry;
+}  // namespace dnsnoise::obs
 
 namespace dnsnoise {
 
@@ -64,9 +69,18 @@ class MiningSession {
   MiningSession& threads(std::size_t n);
   MiningSession& warmup(bool enabled, double volume_fraction = 0.5);
   MiningSession& capture_config(const DayCaptureConfig& config);
+  /// Opt-in observability (DESIGN.md §10): creates (or drops) the session's
+  /// MetricsRegistry.  Enabled, every stage of simulate()/run() reports
+  /// into it and run()'s MiningDayResult carries the JSON snapshot;
+  /// disabled (the default), no instrumentation runs at all.  Re-enabling
+  /// resets previously collected metrics.
+  MiningSession& enable_metrics(bool enabled = true);
 
   const PipelineOptions& options() const noexcept { return options_; }
   std::size_t thread_count() const noexcept { return threads_; }
+  /// The session's live registry — null unless enable_metrics() was called.
+  /// Valid until the session is destroyed or metrics are re-/dis-abled.
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_.get(); }
 
   /// Simulates one sharded day into `capture` (start_day(day_index)-reset
   /// here, the engine's single reset point — mirrors simulate_day), without
@@ -83,6 +97,7 @@ class MiningSession {
  private:
   PipelineOptions options_;
   std::size_t threads_ = 1;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
 };
 
 /// Parallel drop-in for DisposableZoneMiner::mine: fans mine_zone over the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <latch>
 
+#include "obs/metrics.h"
+
 namespace dnsnoise {
 
 namespace {
@@ -13,7 +15,12 @@ constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
 thread_local std::size_t tls_worker_index = kNoWorker;
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    tasks_metric_ = &metrics->counter("engine.pool.tasks_submitted");
+    steals_metric_ = &metrics->counter("engine.pool.steals");
+    queue_depth_max_ = &metrics->gauge("engine.pool.queue_depth_max");
+  }
   const std::size_t count = std::max<std::size_t>(threads, 1);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -51,8 +58,13 @@ void ThreadPool::submit(std::function<void()> task) {
     // Incrementing under wait_mutex_ pairs with the workers' predicate
     // check, closing the missed-wakeup window between check and wait.
     std::lock_guard lock(wait_mutex_);
-    queued_.fetch_add(1, std::memory_order_release);
+    const std::size_t depth =
+        queued_.fetch_add(1, std::memory_order_release) + 1;
+    if (queue_depth_max_ != nullptr) {
+      queue_depth_max_->set_max(static_cast<double>(depth));
+    }
   }
+  if (tasks_metric_ != nullptr) tasks_metric_->add();
   work_cv_.notify_one();
 }
 
@@ -76,6 +88,7 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
       task = std::move(victim.queue.front());
       victim.queue.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      if (steals_metric_ != nullptr) steals_metric_->add();
       return true;
     }
   }

@@ -23,12 +23,21 @@
 #include <thread>
 #include <vector>
 
+namespace dnsnoise::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (clamped to >= 1).
-  explicit ThreadPool(std::size_t threads);
+  /// Spawns `threads` workers (clamped to >= 1).  A non-null `metrics`
+  /// registry (DESIGN.md §10) receives the engine.pool.* scheduler metrics:
+  /// tasks submitted, steals, and the queue-depth high-water mark.
+  explicit ThreadPool(std::size_t threads,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Drains nothing: pending tasks are completed before the workers exit.
   ~ThreadPool();
@@ -66,6 +75,9 @@ class ThreadPool {
   std::atomic<std::size_t> pending_{0};  // tasks submitted but not finished
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
+  obs::Counter* tasks_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Gauge* queue_depth_max_ = nullptr;
 
   void worker_loop(std::size_t index);
   bool try_pop(std::size_t index, std::function<void()>& task);

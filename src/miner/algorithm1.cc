@@ -2,16 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dnsnoise {
 
 DisposableZoneMiner::DisposableZoneMiner(const BinaryClassifier& model,
                                          MinerConfig config)
-    : model_(model), config_(config) {}
+    : model_(model), config_(config) {
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *config_.metrics;
+    zones_visited_ = &metrics.counter("miner.zones_visited");
+    groups_classified_ = &metrics.counter("miner.groups_classified");
+    groups_decolored_ = &metrics.counter("miner.groups_decolored");
+    names_decolored_ = &metrics.counter("miner.names_decolored");
+    features_timer_ = &metrics.timer("miner.features");
+  }
+}
 
 void DisposableZoneMiner::mine_zone(
     DomainNameTree& tree, DomainNameTree::Node& zone,
     const CacheHitRateTracker& chr,
     std::vector<DisposableZoneFinding>& out) const {
+  if (zones_visited_ != nullptr) zones_visited_->add();
+
   // Line 1-3: stop when the zone has no black descendants.
   if (!DomainNameTree::has_black_descendant(zone)) return;
 
@@ -21,11 +34,19 @@ void DisposableZoneMiner::mine_zone(
   // Lines 6-14: classify each group; decolor + output on a confident hit.
   for (const auto& [depth, nodes] : groups) {
     if (nodes.size() < config_.min_group_size) continue;
-    const GroupFeatures features =
-        compute_group_features(nodes, zone.depth, chr);
+    GroupFeatures features;
+    {
+      const obs::StageTimer span(features_timer_);
+      features = compute_group_features(nodes, zone.depth, chr);
+    }
+    if (groups_classified_ != nullptr) groups_classified_->add();
     const double confidence = model_.predict_proba(features.as_array());
     if (confidence >= config_.threshold) {
       for (DomainNameTree::Node* node : nodes) tree.decolor(*node);
+      if (groups_decolored_ != nullptr) {
+        groups_decolored_->add();
+        names_decolored_->add(nodes.size());
+      }
       DisposableZoneFinding finding;
       finding.zone = DomainNameTree::full_name(zone);
       finding.depth = depth;

@@ -15,6 +15,12 @@
 #include "features/extractor.h"
 #include "ml/classifier.h"
 
+namespace dnsnoise::obs {
+class Counter;
+class MetricsRegistry;
+class Timer;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 struct MinerConfig {
@@ -24,6 +30,11 @@ struct MinerConfig {
   /// paper labels zones with >= 15 names and leaves tiny groups untouched).
   std::size_t min_group_size = 5;
   const PublicSuffixList* psl = &PublicSuffixList::builtin();
+  /// Opt-in observability sink (DESIGN.md §10): the miner.* walk counters
+  /// and the feature-extraction timer.  Must outlive the miner; null = no
+  /// instrumentation.  Safe to share across the engine's parallel zone
+  /// walks (all handles are atomics).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One mined disposable zone: the output pair (zone, depth) of Algorithm 1
@@ -59,9 +70,18 @@ class DisposableZoneMiner {
   /// to the same sequence.
   static void sort_findings(std::vector<DisposableZoneFinding>& findings);
 
+  const MinerConfig& config() const noexcept { return config_; }
+
  private:
   const BinaryClassifier& model_;
   MinerConfig config_;
+  // Metric handles resolved once at construction; all null when
+  // config_.metrics is null.
+  obs::Counter* zones_visited_ = nullptr;
+  obs::Counter* groups_classified_ = nullptr;
+  obs::Counter* groups_decolored_ = nullptr;
+  obs::Counter* names_decolored_ = nullptr;
+  obs::Timer* features_timer_ = nullptr;
 };
 
 }  // namespace dnsnoise

@@ -1,5 +1,8 @@
 #include "miner/pipeline.h"
 
+#include "obs/json_snapshot.h"
+#include "obs/metrics.h"
+
 namespace dnsnoise {
 
 namespace {
@@ -20,7 +23,13 @@ void drive_day(TrafficGenerator& traffic, RdnsCluster& cluster,
 DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
                            const PipelineOptions& options,
                            std::int64_t day_index) {
-  RdnsCluster cluster(options.cluster, scenario.authority());
+  ClusterConfig cluster_config = options.cluster;
+  cluster_config.metrics = options.metrics;
+  RdnsCluster cluster(cluster_config, scenario.authority());
+  scenario.traffic().set_metrics(options.metrics);
+  const obs::StageTimer simulate_span(
+      options.metrics != nullptr ? &options.metrics->timer("cluster.simulate")
+                                 : nullptr);
   if (options.warmup) {
     // Warm the caches with a reduced-volume preceding day.  The warmup
     // scenario shares the zone population (same seed) but draws a distinct
@@ -46,26 +55,49 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
 MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
                                   const PipelineOptions& options,
                                   const MineFn& mine) {
+  obs::MetricsRegistry* const metrics = options.metrics;
+  const auto stage_timer = [metrics](const char* name) {
+    return metrics != nullptr ? &metrics->timer(name) : nullptr;
+  };
+
   MiningDayResult result;
   if (tap.tree().black_count() == 0) {
     result.status = MiningDayStatus::kEmptyCapture;
     result.error =
         "mining day captured no resolved names; check traffic volume";
+    if (metrics != nullptr) {
+      result.metrics_json = obs::to_json(metrics->snapshot());
+    }
     return result;
   }
-  result.labeled =
-      label_zones(tap.tree(), tap.chr(), scenario, options.labeler);
+  {
+    const obs::StageTimer span(stage_timer("miner.label"));
+    result.labeled =
+        label_zones(tap.tree(), tap.chr(), scenario, options.labeler);
+  }
   LadTree own_model(options.model);
   const BinaryClassifier* model = options.pretrained;
   if (model == nullptr) {
+    const obs::StageTimer span(stage_timer("miner.train"));
     own_model.train(to_dataset(result.labeled));
     model = &own_model;
   }
 
-  const DisposableZoneMiner miner(*model, options.miner);
-  result.findings = mine ? mine(miner, tap.tree(), tap.chr())
-                         : miner.mine(tap.tree(), tap.chr());
-  result.evaluation = evaluate_findings(result.findings, scenario.truth());
+  MinerConfig miner_config = options.miner;
+  if (miner_config.metrics == nullptr) miner_config.metrics = metrics;
+  const DisposableZoneMiner miner(*model, miner_config);
+  {
+    const obs::StageTimer span(stage_timer("miner.mine"));
+    result.findings = mine ? mine(miner, tap.tree(), tap.chr())
+                           : miner.mine(tap.tree(), tap.chr());
+  }
+  {
+    const obs::StageTimer span(stage_timer("miner.evaluate"));
+    result.evaluation = evaluate_findings(result.findings, scenario.truth());
+  }
+  if (metrics != nullptr) {
+    metrics->counter("miner.findings").add(result.findings.size());
+  }
 
   const FindingIndex index(result.findings);
   DayAggregates& agg = result.aggregates;
@@ -83,6 +115,10 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   for (const auto& [key, counts] : tap.chr().entries()) {
     const auto parsed = DomainName::parse(key.name);
     if (parsed && index.is_disposable(*parsed)) ++agg.disposable_rrs;
+  }
+  // Snapshot last, so the mining-stage timers above are included.
+  if (metrics != nullptr) {
+    result.metrics_json = obs::to_json(metrics->snapshot());
   }
   return result;
 }

@@ -17,6 +17,10 @@
 #include "ml/lad_tree.h"
 #include "workload/scenario.h"
 
+namespace dnsnoise::obs {
+class MetricsRegistry;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 struct PipelineOptions {
@@ -34,6 +38,12 @@ struct PipelineOptions {
   bool warmup = true;
   double warmup_volume_fraction = 0.5;
   DayCaptureConfig capture;
+  /// Opt-in observability sink (DESIGN.md §10): when set, every pipeline
+  /// stage — workload generation, the RDNS cluster, the miner stages — is
+  /// instrumented into this registry, and the final snapshot lands in
+  /// MiningDayResult::metrics_json.  Must outlive the run.  Null (the
+  /// default) disables all instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-date aggregates used by the growth figures (Fig. 13, Tables I/II).
@@ -66,6 +76,10 @@ struct MiningDayResult {
   std::vector<DisposableZoneFinding> findings;
   MiningEvaluation evaluation;
   DayAggregates aggregates;
+  /// Final observability snapshot, serialized by obs/json_snapshot.h.
+  /// Empty unless the run carried a PipelineOptions::metrics registry (or
+  /// MiningSession::enable_metrics).
+  std::string metrics_json;
 
   bool ok() const noexcept { return status == MiningDayStatus::kOk; }
 };

@@ -1,0 +1,44 @@
+// Stable JSON export of a MetricsSnapshot.
+//
+// One schema serves both consumers: MiningDayResult::metrics_json (a full
+// pipeline run) and the BENCH_*.json perf-trajectory files the bench
+// binaries emit (tools/check_bench_regression.py gates CI on those).
+//
+//   {
+//     "schema": "dnsnoise-metrics-v1",
+//     "meta": {"bench": "micro_throughput"},          // optional, sorted
+//     "counters":   {"name": 123, ...},
+//     "gauges":     {"name": 1.5, ...},
+//     "timers":     {"name": {"count": N, "total_seconds": s,
+//                             "min_seconds": s, "max_seconds": s}, ...},
+//     "histograms": {"name": {"count": N, "zero_count": Z,
+//                             "bins": [{"lo": x, "hi": y, "count": n}]}, ...}
+//   }
+//
+// Stability contract: keys are name-sorted, layout is fixed (2-space
+// indent, one key per line), and doubles use the shortest round-trip
+// representation — serializing the same snapshot twice yields byte-identical
+// text, and semantically-equal registries diff clean.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dnsnoise::obs {
+
+/// Serializes `snapshot` (plus optional "meta" string pairs) to the schema
+/// above.
+std::string to_json(const MetricsSnapshot& snapshot,
+                    const std::map<std::string, std::string>& meta = {});
+
+/// Writes `json` to `path` atomically enough for CI use (truncate +
+/// write + trailing newline already included).  Returns false on I/O error.
+bool write_json_file(const std::string& path, const std::string& json);
+
+/// Shortest round-trip decimal form of `v` ("1.5", "0.1", "1e+20"); the
+/// exporter's number format, exposed for tests.
+std::string format_double(double v);
+
+}  // namespace dnsnoise::obs

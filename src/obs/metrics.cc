@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnsnoise::obs {
+
+void Gauge::add(double v) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {}
+}
+
+void Gauge::set_max(double v) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < v && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {}
+}
+
+void Timer::record_ns(std::uint64_t ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t min = min_ns_.load(std::memory_order_relaxed);
+  while (ns < min &&
+         !min_ns_.compare_exchange_weak(min, ns, std::memory_order_relaxed)) {}
+  std::uint64_t max = max_ns_.load(std::memory_order_relaxed);
+  while (ns > max &&
+         !max_ns_.compare_exchange_weak(max, ns, std::memory_order_relaxed)) {}
+}
+
+std::uint64_t Timer::min_ns() const noexcept {
+  const std::uint64_t min = min_ns_.load(std::memory_order_relaxed);
+  return min == ~0ULL ? 0 : min;
+}
+
+const MetricSample* MetricsSnapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                             "' already registered with a different kind");
+    }
+    return it->second;
+  }
+  Entry& fresh = entries_[std::string(name)];
+  fresh.kind = kind;
+  return fresh;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name, MetricKind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name, MetricKind::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name, MetricKind::kTimer);
+  if (!e.timer) e.timer = std::make_unique<Timer>();
+  return *e.timer;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double max,
+                                      std::size_t bins_per_decade) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name, MetricKind::kHistogram);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(max, bins_per_decade);
+  }
+  return *e.histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  constexpr double kNsPerSecond = 1e9;
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.samples.reserve(entries_.size());
+  // entries_ is an ordered map, so the snapshot (and its JSON form) is
+  // name-sorted without an extra sort.
+  for (const auto& [name, e] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        sample.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.value = e.gauge->value();
+        break;
+      case MetricKind::kTimer:
+        sample.count = e.timer->count();
+        sample.total_seconds =
+            static_cast<double>(e.timer->total_ns()) / kNsPerSecond;
+        sample.min_seconds =
+            static_cast<double>(e.timer->min_ns()) / kNsPerSecond;
+        sample.max_seconds =
+            static_cast<double>(e.timer->max_ns()) / kNsPerSecond;
+        break;
+      case MetricKind::kHistogram: {
+        const LogHistogram hist = e.histogram->copy();
+        sample.count = hist.total();
+        sample.zero_count = hist.zero_count();
+        for (std::size_t bin = 0; bin < hist.bins(); ++bin) {
+          if (hist.count(bin) == 0) continue;
+          sample.bins.push_back(
+              {hist.bin_lo(bin), hist.bin_hi(bin), hist.count(bin)});
+        }
+        break;
+      }
+    }
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace dnsnoise::obs

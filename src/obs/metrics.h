@@ -1,0 +1,231 @@
+// Pipeline observability: a lock-cheap metrics registry with RAII stage
+// timers.
+//
+// The registry is the single sink every pipeline stage reports into —
+// workload generation, the RDNS cluster, the sharded engine, and the miner
+// each register named metrics under their stage prefix (DESIGN.md §10 owns
+// the taxonomy).  Design constraints, in order:
+//
+//   * Disabled must cost nothing.  Every instrumentation site holds a
+//     nullable metric pointer and does nothing when it is null; no clock is
+//     read, no atomic touched.  Metrics are opt-in per run
+//     (MiningSession::enable_metrics / PipelineOptions::metrics).
+//   * Hot paths are lock-free.  Counter and Gauge are single relaxed
+//     atomics; shard workers hammer them concurrently without contention on
+//     anything wider.
+//   * Cold paths may lock.  Histogram guards a util/histogram LogHistogram
+//     with a spinlock and Timer uses CAS min/max — both record at stage
+//     granularity (per batch, per group, per shard), orders of magnitude
+//     below the per-query rate.
+//   * Registration is slow-path only.  counter()/gauge()/timer()/histogram()
+//     take a mutex and return a stable reference; call them once at
+//     attach/construction time and cache the pointer, never per event.
+//
+// snapshot() freezes the registry into a name-sorted MetricsSnapshot;
+// obs/json_snapshot.h serializes that to stable, diff-friendly JSON.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace dnsnoise::obs {
+
+/// Monotonic event count.  Lock-free; safe to add() from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double (queue depths, per-shard seconds, bench rates).
+/// Lock-free; set/add/set_max are safe from any thread.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept;
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void set_max(double v) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Duration accumulator: count / total / min / max in nanoseconds, all
+/// lock-free.  Fed by StageTimer; record_ns is exposed for pre-measured
+/// spans.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  /// 0 when no span has been recorded.
+  std::uint64_t min_ns() const noexcept;
+  std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ULL};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Latency/size distribution: a util/histogram LogHistogram behind a
+/// spinlock.  record() is cheap-but-not-free; use it at batch/stage
+/// granularity, not per query.
+class Histogram {
+ public:
+  explicit Histogram(double max = 1e9, std::size_t bins_per_decade = 4)
+      : hist_(max, bins_per_decade) {}
+
+  void record(double value, std::uint64_t weight = 1) noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) {}
+    hist_.add(value, weight);
+    lock_.clear(std::memory_order_release);
+  }
+
+  /// Consistent copy of the underlying histogram (snapshot path).
+  LogHistogram copy() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {}
+    LogHistogram out = hist_;
+    lock_.clear(std::memory_order_release);
+    return out;
+  }
+
+ private:
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  LogHistogram hist_;
+};
+
+/// RAII wall-clock span over a pipeline stage.  A null timer disables the
+/// span entirely — the clock is never read, so instrumented code paths cost
+/// one predictable branch when metrics are off.
+class StageTimer {
+ public:
+  explicit StageTimer(Timer* timer) noexcept : timer_(timer) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() { stop(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Records the span now instead of at scope exit.  Idempotent.
+  void stop() noexcept {
+    if (timer_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    timer_->record_ns(static_cast<std::uint64_t>(ns.count()));
+    timer_ = nullptr;
+  }
+
+  /// Seconds elapsed so far (0 when disabled).
+  double elapsed_seconds() const noexcept {
+    if (timer_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kTimer, kHistogram };
+
+/// One non-empty bin of a snapshot histogram.
+struct SnapshotBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// One metric frozen out of the registry.  Which fields are meaningful
+/// depends on `kind`; unused fields stay zero so snapshots of the same
+/// registry state are bitwise identical.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;        // counter value; timer/histogram count
+  double value = 0.0;             // gauge value
+  double total_seconds = 0.0;     // timer
+  double min_seconds = 0.0;       // timer
+  double max_seconds = 0.0;       // timer
+  std::uint64_t zero_count = 0;   // histogram underflow bin
+  std::vector<SnapshotBin> bins;  // histogram non-empty bins, ascending
+};
+
+/// Name-sorted freeze of a registry; input to the JSON exporter.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  bool empty() const noexcept { return samples.empty(); }
+  /// The sample with `name`, or nullptr.
+  const MetricSample* find(std::string_view name) const noexcept;
+};
+
+/// Owner of all metrics of one pipeline run.  Thread-safe throughout:
+/// registration locks, recording does not (see class comments above).
+/// Returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric.  Throws std::logic_error when the
+  /// name is already registered with a different kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+  /// `max`/`bins_per_decade` apply on first registration only.
+  Histogram& histogram(std::string_view name, double max = 1e9,
+                       std::size_t bins_per_decade = 4);
+
+  std::size_t size() const;
+
+  /// Freezes every registered metric, sorted by name.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Timer> timer;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace dnsnoise::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace dnsnoise {
 
 RdnsCluster::RdnsCluster(const ClusterConfig& config,
@@ -17,6 +19,20 @@ RdnsCluster::RdnsCluster(const ClusterConfig& config,
   caches_.reserve(config.server_count);
   for (std::size_t i = 0; i < config.server_count; ++i) {
     caches_.emplace_back(config.cache);
+  }
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *config.metrics;
+    server_metrics_.reserve(config.server_count);
+    for (std::size_t i = 0; i < config.server_count; ++i) {
+      const std::string prefix =
+          "cluster.server" + std::to_string(config.metrics_server_base + i);
+      server_metrics_.push_back({&metrics.counter(prefix + ".cache_hits"),
+                                 &metrics.counter(prefix + ".cache_misses"),
+                                 &metrics.counter(prefix + ".nxdomain")});
+    }
+    below_answers_metric_ = &metrics.counter("cluster.below_answers");
+    above_answers_metric_ = &metrics.counter("cluster.above_answers");
+    tap_batch_size_ = &metrics.histogram("cluster.tap_batch_size", 1e6);
   }
 }
 
@@ -38,8 +54,37 @@ void RdnsCluster::remove_tap_observer(TapObserver* observer) {
                    observers_.end());
 }
 
+void RdnsCluster::set_below_sink_impl(BelowSink sink) {
+  // Flush before swapping so each sink sees exactly the events observed
+  // while it was set (no-drop contract, same as remove_tap_observer).
+  if (sink_adapter_registered_) flush_taps();
+  sink_adapter_.below = std::move(sink);
+  update_sink_adapter();
+}
+
+void RdnsCluster::set_above_sink_impl(AboveSink sink) {
+  if (sink_adapter_registered_) flush_taps();
+  sink_adapter_.above = std::move(sink);
+  update_sink_adapter();
+}
+
+void RdnsCluster::update_sink_adapter() {
+  const bool wanted = static_cast<bool>(sink_adapter_.below) ||
+                      static_cast<bool>(sink_adapter_.above);
+  if (wanted && !sink_adapter_registered_) {
+    observers_.push_back(&sink_adapter_);
+    sink_adapter_registered_ = true;
+  } else if (!wanted && sink_adapter_registered_) {
+    remove_tap_observer(&sink_adapter_);
+    sink_adapter_registered_ = false;
+  }
+}
+
 void RdnsCluster::flush_taps() {
   if (tap_events_.empty()) return;
+  if (tap_batch_size_ != nullptr) {
+    tap_batch_size_->record(static_cast<double>(tap_events_.size()));
+  }
   const TapBatch batch(tap_events_, tap_answers_);
   for (TapObserver* observer : observers_) observer->on_tap_batch(batch);
   tap_events_.clear();
@@ -86,16 +131,24 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
   DnsCache& cache = caches_[outcome.server];
   const QuestionKey key{question.name.text(), question.type};
 
+  ServerMetrics* const metrics =
+      server_metrics_.empty() ? nullptr : &server_metrics_[outcome.server];
+
   if (const CachedAnswer* cached = cache.lookup(key, now)) {
     outcome.rcode = cached->rcode;
     outcome.cache_hit = true;
     outcome.answers = cached->answers;
+    if (metrics != nullptr) metrics->cache_hits->add();
   } else {
     // Cache miss: iterate to the authority; its answer is observed above.
     const AuthorityAnswer upstream = authority_.resolve(question, now);
     outcome.rcode = upstream.rcode;
     outcome.answers = upstream.answers;
     ++above_answers_;
+    if (metrics != nullptr) {
+      metrics->cache_misses->add();
+      above_answers_metric_->add();
+    }
     if (upstream.rcode == RCode::NoError) {
       ++answered_misses_;
       if (upstream.disposable_zone) ++disposable_answered_misses_;
@@ -108,9 +161,6 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
       buffer_tap_event(now, TapDirection::kAbove, 0, question, upstream.rcode,
                        upstream.answers);
     }
-    if (above_sink_) {
-      above_sink_(now, question, upstream.rcode, upstream.answers);
-    }
     if (upstream.rcode == RCode::NoError) {
       cache.insert_positive(key, upstream.answers, now,
                             upstream.disposable_zone);
@@ -120,12 +170,13 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
   }
 
   ++below_answers_;
+  if (metrics != nullptr) {
+    below_answers_metric_->add();
+    if (outcome.rcode == RCode::NXDomain) metrics->nxdomain->add();
+  }
   if (!observers_.empty()) {
     buffer_tap_event(now, TapDirection::kBelow, client_id, question,
                      outcome.rcode, outcome.answers);
-  }
-  if (below_sink_) {
-    below_sink_(now, client_id, question, outcome.rcode, outcome.answers);
   }
   return outcome;
 }

@@ -21,6 +21,12 @@
 #include "util/rng.h"
 #include "util/sim_time.h"
 
+namespace dnsnoise::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 /// How client queries are spread over the cluster.
@@ -39,6 +45,15 @@ struct ClusterConfig {
   /// amortize dispatch further at the cost of arena memory; 1 degenerates
   /// to per-event delivery.
   std::size_t tap_batch_events = 256;
+  /// Opt-in observability sink (see DESIGN.md §10).  When set, the cluster
+  /// registers per-server cache hit/miss/NXDOMAIN counters plus the
+  /// tap-batch size histogram.  Must outlive the cluster.  Null = no
+  /// instrumentation, no overhead beyond one branch per query.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Offset added to server indices in metric names: shard k of a sharded
+  /// engine run is a 1-server cluster, but its metrics must land under
+  /// cluster.server<k>, not cluster.server0.
+  std::size_t metrics_server_base = 0;
 
   /// The configuration of one shard of this cluster: a single-server slice
   /// whose RNG stream is split off the cluster seed per shard index (never
@@ -48,6 +63,7 @@ struct ClusterConfig {
     ClusterConfig shard = *this;
     shard.server_count = 1;
     shard.seed = shard_seed(seed, shard_index);
+    shard.metrics_server_base = metrics_server_base + shard_index;
     return shard;
   }
 };
@@ -87,9 +103,19 @@ class RdnsCluster {
   /// the last query of a run so trailing events are not stuck in the batch.
   void flush_taps();
 
-  std::size_t tap_observer_count() const noexcept { return observers_.size(); }
+  /// Observers subscribed via add_tap_observer (the internal legacy-sink
+  /// adapter is not counted).
+  std::size_t tap_observer_count() const noexcept {
+    return observers_.size() - (sink_adapter_registered_ ? 1 : 0);
+  }
 
   // --- Legacy sink API (deprecated shims) ----------------------------------
+  //
+  // The shims are implemented on top of the batched tap: the sinks are held
+  // by an internal TapObserver that unpacks each batch back into per-answer
+  // calls.  Delivery therefore follows the batching contract (batch-full or
+  // flush_taps()), not the per-query timing of the old API; clearing the
+  // last sink flushes pending events first, so none are dropped.
 
   /// Answer stream below the cluster (every answered client query).
   using BelowSink =
@@ -101,11 +127,11 @@ class RdnsCluster {
 
   [[deprecated("subscribe a TapObserver via add_tap_observer instead")]]
   void set_below_sink(BelowSink sink) {
-    below_sink_ = std::move(sink);
+    set_below_sink_impl(std::move(sink));
   }
   [[deprecated("subscribe a TapObserver via add_tap_observer instead")]]
   void set_above_sink(AboveSink sink) {
-    above_sink_ = std::move(sink);
+    set_above_sink_impl(std::move(sink));
   }
 
   // -------------------------------------------------------------------------
@@ -147,6 +173,37 @@ class RdnsCluster {
   }
 
  private:
+  /// Forwards batched tap events to the deprecated per-answer sinks.  Lives
+  /// inside the cluster and registers itself in observers_ while at least
+  /// one sink is set, so the legacy API exercises the exact same buffering
+  /// and flush path as first-class observers.
+  class SinkAdapter final : public TapObserver {
+   public:
+    BelowSink below;
+    AboveSink above;
+
+    void on_tap_batch(const TapBatch& batch) override {
+      for (const TapEvent& event : batch) {
+        if (event.direction == TapDirection::kBelow) {
+          if (below) {
+            below(event.ts, event.client_id, event.question, event.rcode,
+                  batch.answers(event));
+          }
+        } else if (above) {
+          above(event.ts, event.question, event.rcode, batch.answers(event));
+        }
+      }
+    }
+  };
+
+  /// Per-server metric handles, resolved once at construction (registry
+  /// lookups are mutex-guarded; query() must stay lock-free).
+  struct ServerMetrics {
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* nxdomain = nullptr;
+  };
+
   const SyntheticAuthority& authority_;
   Balancing balancing_;
   std::size_t tap_batch_events_;
@@ -156,19 +213,26 @@ class RdnsCluster {
   std::vector<TapObserver*> observers_;
   std::vector<TapEvent> tap_events_;
   std::vector<ResourceRecord> tap_answers_;
-  BelowSink below_sink_;
-  AboveSink above_sink_;
+  SinkAdapter sink_adapter_;
+  bool sink_adapter_registered_ = false;
   std::uint64_t below_answers_ = 0;
   std::uint64_t above_answers_ = 0;
   std::uint64_t dnssec_validations_ = 0;
   std::uint64_t dnssec_disposable_validations_ = 0;
   std::uint64_t answered_misses_ = 0;
   std::uint64_t disposable_answered_misses_ = 0;
+  std::vector<ServerMetrics> server_metrics_;  // empty when uninstrumented
+  obs::Counter* below_answers_metric_ = nullptr;
+  obs::Counter* above_answers_metric_ = nullptr;
+  obs::Histogram* tap_batch_size_ = nullptr;
 
   std::size_t pick_server(std::uint64_t client_id);
   void buffer_tap_event(SimTime ts, TapDirection direction,
                         std::uint64_t client_id, const Question& question,
                         RCode rcode, std::span<const ResourceRecord> answers);
+  void set_below_sink_impl(BelowSink sink);
+  void set_above_sink_impl(AboveSink sink);
+  void update_sink_adapter();
 };
 
 }  // namespace dnsnoise

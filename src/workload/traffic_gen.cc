@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace dnsnoise {
 
 TrafficGenerator::TrafficGenerator(const TrafficConfig& config)
@@ -33,6 +35,18 @@ std::size_t TrafficGenerator::pick_model(Rng& rng) const {
   return std::min(idx, models_.size() - 1);
 }
 
+void TrafficGenerator::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    queries_generated_ = nullptr;
+    shard_slots_skipped_ = nullptr;
+    days_generated_ = nullptr;
+    return;
+  }
+  queries_generated_ = &metrics->counter("workload.queries_generated");
+  shard_slots_skipped_ = &metrics->counter("workload.shard_slots_skipped");
+  days_generated_ = &metrics->counter("workload.days_generated");
+}
+
 std::uint64_t TrafficGenerator::client_id_for_rank(
     std::size_t rank) const noexcept {
   // Stable opaque IDs; never 0 (0 marks "no client" in above-tap entries).
@@ -43,6 +57,7 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
   if (models_.empty()) {
     throw std::logic_error("TrafficGenerator: no models registered");
   }
+  if (days_generated_ != nullptr) days_generated_->add();
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
   for (int hour = 0; hour < 24; ++hour) {
@@ -63,6 +78,7 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
       const std::uint64_t client =
           client_id_for_rank(client_activity_.sample(rng_));
       const QuerySpec query = models_[pick_model()]->sample_query(rng_);
+      if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }
   }
@@ -76,6 +92,7 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
   if (shard.count == 0 || shard.index >= shard.count) {
     throw std::invalid_argument("TrafficGenerator: bad shard spec");
   }
+  if (days_generated_ != nullptr) days_generated_->add();
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
   std::uint64_t slot = 0;  // global query index across the whole day
@@ -100,8 +117,12 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
           client_id_for_rank(client_activity_.sample(q));
       // Shard filter after the client draw: skipped slots cost one fork and
       // one Zipf sample, never a zone-model mutation.
-      if (shard_of(client, shard.count) != shard.index) continue;
+      if (shard_of(client, shard.count) != shard.index) {
+        if (shard_slots_skipped_ != nullptr) shard_slots_skipped_->add();
+        continue;
+      }
       const QuerySpec query = models_[pick_model(q)]->sample_query(q);
+      if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }
   }

@@ -17,6 +17,11 @@
 #include "workload/diurnal.h"
 #include "workload/zone_model.h"
 
+namespace dnsnoise::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 struct TrafficConfig {
@@ -62,12 +67,21 @@ class TrafficGenerator {
   /// Stable client ID for an activity rank (exposed for tests).
   std::uint64_t client_id_for_rank(std::size_t rank) const noexcept;
 
+  /// Opt-in observability (DESIGN.md §10): registers the workload.* stage
+  /// counters — queries_generated, shard_slots_skipped, days_generated.
+  /// `metrics` must outlive the generator; null detaches.  Counting costs
+  /// one branch + relaxed atomic per query; nothing when detached.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   TrafficConfig config_;
   Rng rng_;
   ZipfSampler client_activity_;
   std::vector<std::shared_ptr<ZoneModel>> models_;
   std::vector<double> cumulative_weights_;
+  obs::Counter* queries_generated_ = nullptr;
+  obs::Counter* shard_slots_skipped_ = nullptr;
+  obs::Counter* days_generated_ = nullptr;
 
   std::size_t pick_model();
   std::size_t pick_model(Rng& rng) const;

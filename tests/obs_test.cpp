@@ -1,0 +1,228 @@
+// Unit tests for the observability subsystem: metric primitives, registry
+// semantics, snapshot ordering, and the stability contract of the JSON
+// exporter (same registry state => byte-identical JSON).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/json_snapshot.h"
+#include "obs/metrics.h"
+
+namespace dnsnoise::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddSetMax) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.set_max(1.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.set_max(7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(Timer, TracksCountTotalMinMax) {
+  Timer timer;
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(timer.min_ns(), 0u);  // empty timer reports 0, not the sentinel
+  timer.record_ns(300);
+  timer.record_ns(100);
+  timer.record_ns(200);
+  EXPECT_EQ(timer.count(), 3u);
+  EXPECT_EQ(timer.total_ns(), 600u);
+  EXPECT_EQ(timer.min_ns(), 100u);
+  EXPECT_EQ(timer.max_ns(), 300u);
+}
+
+TEST(StageTimer, RecordsOneSpanAndIsIdempotent) {
+  Timer timer;
+  {
+    StageTimer span(&timer);
+    span.stop();
+    span.stop();  // second stop must not double-record
+  }
+  EXPECT_EQ(timer.count(), 1u);
+}
+
+TEST(StageTimer, NullTimerIsANoOp) {
+  StageTimer span(nullptr);
+  EXPECT_DOUBLE_EQ(span.elapsed_seconds(), 0.0);
+  span.stop();  // must not crash
+}
+
+TEST(Histogram, RecordsThroughLogHistogram) {
+  Histogram hist(1000.0);
+  hist.record(0.0);
+  hist.record(10.0, 3);
+  const LogHistogram copy = hist.copy();
+  EXPECT_EQ(copy.zero_count(), 1u);
+  EXPECT_EQ(copy.total(), 4u);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("stage.events");
+  Counter& b = registry.counter("stage.events");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(registry.counter("stage.events").value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("stage.metric");
+  EXPECT_THROW(registry.gauge("stage.metric"), std::logic_error);
+  EXPECT_THROW(registry.timer("stage.metric"), std::logic_error);
+  EXPECT_THROW(registry.histogram("stage.metric"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 100; ++i) {
+        registry.counter("shared.counter").add();
+        registry.counter("c" + std::to_string(i)).add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("shared.counter").value(), 400u);
+  EXPECT_EQ(registry.size(), 101u);
+}
+
+TEST(MetricsSnapshot, SortedByNameAcrossKinds) {
+  MetricsRegistry registry;
+  registry.gauge("b.gauge").set(1.0);
+  registry.counter("a.counter").add(2);
+  registry.timer("c.timer").record_ns(5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "a.counter");
+  EXPECT_EQ(snapshot.samples[1].name, "b.gauge");
+  EXPECT_EQ(snapshot.samples[2].name, "c.timer");
+  ASSERT_NE(snapshot.find("b.gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(snapshot.find("b.gauge")->value, 1.0);
+  EXPECT_EQ(snapshot.find("missing"), nullptr);
+}
+
+TEST(JsonSnapshot, EmptyRegistryIsValidAndStable) {
+  MetricsRegistry registry;
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"schema\": \"dnsnoise-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_EQ(json, to_json(registry.snapshot()));
+}
+
+TEST(JsonSnapshot, RoundTripIsByteIdentical) {
+  // The satellite stability guarantee: serializing the same registry state
+  // twice — and serializing a semantically identical second registry —
+  // yields byte-identical JSON.
+  const auto populate = [](MetricsRegistry& registry) {
+    registry.counter("cluster.server0.cache_hits").add(10);
+    registry.counter("cluster.server1.cache_hits").add(20);
+    registry.gauge("engine.shard0.wall_seconds").set(0.125);
+    registry.timer("miner.features").record_ns(1'000'000);
+    registry.histogram("cluster.tap_batch_size", 1e6).record(256.0, 4);
+  };
+  MetricsRegistry one;
+  MetricsRegistry two;
+  populate(one);
+  populate(two);
+  const std::string json_one = to_json(one.snapshot());
+  EXPECT_EQ(json_one, to_json(one.snapshot()));
+  EXPECT_EQ(json_one, to_json(two.snapshot()));
+}
+
+TEST(JsonSnapshot, SectionsCarryTheRightMetrics) {
+  MetricsRegistry registry;
+  registry.counter("stage.events").add(7);
+  registry.gauge("stage.rate").set(1.5);
+  registry.timer("stage.span").record_ns(2'000'000'000);
+  registry.histogram("stage.sizes", 1e6).record(100.0);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"stage.events\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"stage.rate\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"bins\": [{"), std::string::npos);
+}
+
+TEST(JsonSnapshot, MetaPairsAreEmbeddedSorted) {
+  MetricsRegistry registry;
+  registry.gauge("bench.items_per_sec").set(12.5);
+  const std::string json =
+      to_json(registry.snapshot(), {{"bench", "micro"}, {"arch", "x86"}});
+  const auto arch = json.find("\"arch\": \"x86\"");
+  const auto bench = json.find("\"bench\": \"micro\"");
+  ASSERT_NE(arch, std::string::npos);
+  ASSERT_NE(bench, std::string::npos);
+  EXPECT_LT(arch, bench);  // meta map iterates sorted
+}
+
+TEST(JsonSnapshot, EscapesControlAndQuoteCharacters) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\nnoise").add(1);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnoise"), std::string::npos);
+}
+
+TEST(JsonSnapshot, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(JsonSnapshot, WriteJsonFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  const std::string json = to_json(registry.snapshot());
+  const std::string path =
+      testing::TempDir() + "/dnsnoise_obs_test_snapshot.json";
+  ASSERT_TRUE(write_json_file(path, json));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string read_back(json.size() + 16, '\0');
+  const std::size_t n = std::fread(read_back.data(), 1, read_back.size(), file);
+  std::fclose(file);
+  read_back.resize(n);
+  EXPECT_EQ(read_back, json);
+  std::remove(path.c_str());
+}
+
+TEST(JsonSnapshot, WriteJsonFileFailsOnBadPath) {
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x/y.json", "{}\n"));
+}
+
+}  // namespace
+}  // namespace dnsnoise::obs

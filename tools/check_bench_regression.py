@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput regressions from BENCH_*.json snapshots.
+
+Compares the ``*_per_sec`` gauges of a current dnsnoise-metrics-v1 bench
+snapshot (written by bench/micro_throughput or bench/fig02_traffic_volume)
+against a committed baseline.  Higher is better; a gauge that dropped by
+more than ``--threshold`` (default 30%) fails the check.
+
+Gauges present on only one side are reported but never fail the check:
+benchmarks come and go, and machine differences are judged only on the
+ratio of matched gauges.  A missing baseline file skips the check with
+exit 0 so fresh branches don't need one.
+
+Exit codes: 0 ok/skipped, 1 regression found, 2 malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_per_sec_gauges(path):
+    """Returns {name: value} for the *_per_sec gauges of one snapshot."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "dnsnoise-metrics-v1":
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        raise ValueError(f"{path}: missing gauges section")
+    return {
+        name: float(value)
+        for name, value in gauges.items()
+        if name.endswith("_per_sec")
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    try:
+        current = load_per_sec_gauges(args.current)
+    except FileNotFoundError:
+        print(f"error: current snapshot {args.current} not found")
+        return 2
+    except (ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}")
+        return 2
+
+    try:
+        baseline = load_per_sec_gauges(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; skipping regression check")
+        return 0
+    except (ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}")
+        return 2
+
+    if not baseline:
+        print(f"baseline {args.baseline} has no *_per_sec gauges; skipping")
+        return 0
+
+    regressions = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"note: {name} missing from current run (not gating)")
+            continue
+        before, after = baseline[name], current[name]
+        if before <= 0:
+            print(f"note: {name} baseline is {before}; skipping")
+            continue
+        change = after / before - 1.0
+        status = "ok"
+        if change < -args.threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"{status:>10}  {name}: {before:,.0f} -> {after:,.0f} "
+              f"({change:+.1%})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name} is new (no baseline; not gating)")
+
+    if regressions:
+        print(f"\n{len(regressions)} gauge(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nno throughput regressions beyond "
+          f"{args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
