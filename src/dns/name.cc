@@ -59,6 +59,38 @@ std::optional<DomainName> DomainName::parse(std::string_view text) {
   }
 }
 
+bool DomainName::assign(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  text_.clear();
+  offsets_.clear();
+  if (text.empty()) return true;
+  if (text.size() > kMaxTextLength) return false;
+  std::size_t label_len = 0;
+  for (const char c : text) {
+    if (c == '.') {
+      if (label_len == 0) {
+        text_.clear();
+        return false;
+      }
+      label_len = 0;
+      text_.push_back('.');
+      continue;
+    }
+    if (!is_allowed_label_char(c) || ++label_len > kMaxLabelLength) {
+      text_.clear();
+      return false;
+    }
+    text_.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (label_len == 0) {
+    text_.clear();
+    return false;
+  }
+  index_labels();
+  return true;
+}
+
 void DomainName::index_labels() {
   offsets_.clear();
   if (text_.empty()) return;

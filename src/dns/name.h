@@ -33,6 +33,12 @@ class DomainName {
   /// Non-throwing validating parse.
   static std::optional<DomainName> parse(std::string_view text);
 
+  /// Re-parses `text` into this object, reusing the existing text and
+  /// offset capacity — the allocation-free path for scratch names that are
+  /// re-assigned per query.  Returns false (leaving the name empty) on
+  /// malformed input.
+  bool assign(std::string_view text);
+
   /// True for the empty (root) name.
   bool empty() const noexcept { return text_.empty(); }
 
@@ -52,6 +58,49 @@ class DomainName {
 
   /// All labels, left-to-right, as views into this object.
   std::vector<std::string_view> labels() const;
+
+  /// Allocation-free label range, left-to-right.  Iterators stay valid
+  /// while this DomainName is alive and unmodified; hot callers (tree
+  /// insert, feature extraction) use this instead of labels().
+  class LabelRange {
+   public:
+    class iterator {
+     public:
+      using value_type = std::string_view;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const DomainName* name, std::size_t index) noexcept
+          : name_(name), index_(index) {}
+
+      std::string_view operator*() const { return name_->label(index_); }
+      iterator& operator++() noexcept {
+        ++index_;
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator old = *this;
+        ++index_;
+        return old;
+      }
+      friend bool operator==(const iterator&, const iterator&) = default;
+
+     private:
+      const DomainName* name_ = nullptr;
+      std::size_t index_ = 0;
+    };
+
+    explicit LabelRange(const DomainName& name) noexcept : name_(&name) {}
+    iterator begin() const noexcept { return {name_, 0}; }
+    iterator end() const noexcept { return {name_, name_->label_count()}; }
+    std::size_t size() const noexcept { return name_->label_count(); }
+
+   private:
+    const DomainName* name_;
+  };
+
+  /// The labels as an allocation-free range (see LabelRange).
+  LabelRange label_range() const noexcept { return LabelRange(*this); }
 
   /// The n rightmost labels as a new name (paper's NLD).  n >= label_count()
   /// returns the whole name; n == 0 returns the root.

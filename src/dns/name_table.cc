@@ -1,0 +1,90 @@
+#include "dns/name_table.h"
+
+#include <cstring>
+
+namespace dnsnoise {
+
+std::string_view StringArena::store(std::string_view s) {
+  if (s.empty()) return {};
+  if (chunk_used_ + s.size() > kChunkBytes) {
+    // Oversized payloads (never DNS names, which cap at 253 bytes) get a
+    // dedicated chunk so they still never span two chunks.
+    if (s.size() > kChunkBytes) {
+      chunks_.push_back(std::make_unique<char[]>(s.size()));
+      char* dst = chunks_.back().get();
+      std::memcpy(dst, s.data(), s.size());
+      bytes_used_ += s.size();
+      // Keep the current (partially used) chunk active by re-ordering: the
+      // dedicated chunk was appended last, so swap it below the active one.
+      if (chunks_.size() >= 2) {
+        std::swap(chunks_[chunks_.size() - 1], chunks_[chunks_.size() - 2]);
+      }
+      return {dst, s.size()};
+    }
+    chunks_.push_back(std::make_unique<char[]>(kChunkBytes));
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  bytes_used_ += s.size();
+  return {dst, s.size()};
+}
+
+void NameTable::Pool::grow_slots(std::size_t min_slots) {
+  std::size_t n = 16;
+  while (n < min_slots) n <<= 1;
+  std::vector<std::uint32_t> fresh(n, 0);
+  const std::size_t mask = n - 1;
+  for (std::uint32_t id = 0; id < recs_.size(); ++id) {
+    std::size_t i = static_cast<std::size_t>(recs_[id].hash) & mask;
+    while (fresh[i] != 0) i = (i + 1) & mask;
+    fresh[i] = id + 1;
+  }
+  slots_.swap(fresh);
+}
+
+void NameTable::Pool::reserve(std::size_t count) {
+  recs_.reserve(count);
+  // 8/7 headroom keeps the table below the 7/8 growth trigger at `count`.
+  const std::size_t wanted = count + count / 7 + 1;
+  if (wanted > slots_.size()) grow_slots(wanted);
+}
+
+std::uint32_t NameTable::Pool::find(std::string_view s) const noexcept {
+  if (slots_.empty()) return kInvalidNameId;
+  const std::uint64_t h = fnv1a64(s);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (true) {
+    const std::uint32_t slot = slots_[i];
+    if (slot == 0) return kInvalidNameId;
+    const Rec& rec = recs_[slot - 1];
+    if (rec.hash == h && rec.text == s) return slot - 1;
+    i = (i + 1) & mask;
+  }
+}
+
+std::uint32_t NameTable::Pool::intern(std::string_view s, StringArena& arena) {
+  if (slots_.empty()) grow_slots(16);
+  const std::uint64_t h = fnv1a64(s);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (true) {
+    const std::uint32_t slot = slots_[i];
+    if (slot == 0) break;
+    const Rec& rec = recs_[slot - 1];
+    if (rec.hash == h && rec.text == s) return slot - 1;
+    i = (i + 1) & mask;
+  }
+  const auto id = static_cast<std::uint32_t>(recs_.size());
+  recs_.push_back(Rec{arena.store(s), h});
+  slots_[i] = id + 1;
+  // Grow past 7/8 load; reinserting re-probes every stored hash.
+  if ((recs_.size() + recs_.size() / 7) >= slots_.size()) {
+    grow_slots(slots_.size() * 2);
+  }
+  return id;
+}
+
+}  // namespace dnsnoise

@@ -126,11 +126,13 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       RdnsCluster cluster(shard_config, scenario.authority());
       const TrafficGenerator::ShardSpec spec{shard_count, index};
       std::uint64_t fed = 0;
-      const auto feed = [&cluster, &fed](SimTime ts, std::uint64_t client,
-                                         const QuerySpec& query) {
-        const auto qname = DomainName::parse(query.qname);
-        if (!qname) return;
-        cluster.query(client, Question{*qname, query.qtype}, ts);
+      Question question;  // scratch reused across the shard's day
+      const auto feed = [&cluster, &fed, &question](SimTime ts,
+                                                    std::uint64_t client,
+                                                    const QuerySpec& query) {
+        if (!question.name.assign(query.qname)) return;
+        question.type = query.qtype;
+        cluster.query_view(client, question, ts);
         ++fed;
       };
       if (options_.warmup) {

@@ -2,28 +2,69 @@
 
 namespace dnsnoise {
 
+CacheHitRateTracker::CacheHitRateTracker() {
+  slots_.assign(256, 0);
+  slot_mask_ = 255;
+}
+
+void CacheHitRateTracker::grow_slots(std::size_t min_slots) {
+  std::size_t n = slots_.size();
+  while (n < min_slots) n <<= 1;
+  std::vector<std::uint32_t> fresh(n, 0);
+  const std::size_t mask = n - 1;
+  for (const std::uint32_t ref : slots_) {
+    if (ref == 0) continue;
+    std::size_t i = static_cast<std::size_t>(hashes_[ref - 1]) & mask;
+    while (fresh[i] != 0) i = (i + 1) & mask;
+    fresh[i] = ref;
+  }
+  slots_.swap(fresh);
+  slot_mask_ = mask;
+}
+
 CacheHitRateTracker::Counts& CacheHitRateTracker::entry_for(
-    const std::string& name, RRType type, const std::string& rdata) {
-  RRKey key{name, type, rdata};
-  const auto it = index_.find(key);
-  if (it != index_.end()) return entries_[it->second].second;
+    std::string_view name, RRType type, std::string_view rdata) {
+  const std::uint64_t h = rr_hash(name, type, rdata);
+  std::size_t i = static_cast<std::size_t>(h) & slot_mask_;
+  while (true) {
+    const std::uint32_t ref = slots_[i];
+    if (ref == 0) break;
+    const std::uint32_t idx = ref - 1;
+    if (hashes_[idx] == h) {
+      const RRKey& key = entries_[idx].first;
+      if (key.type == type && name == key.name && rdata == key.rdata) {
+        return entries_[idx].second;
+      }
+    }
+    i = (i + 1) & slot_mask_;
+  }
+  // First observation: materialize the key, keep slot load below 7/8.
+  if (entries_.size() + 1 + (entries_.size() + 1) / 7 >= slots_.size()) {
+    grow_slots(slots_.size() * 2);
+    i = static_cast<std::size_t>(h) & slot_mask_;
+    while (slots_[i] != 0) i = (i + 1) & slot_mask_;
+  }
   const auto idx = static_cast<std::uint32_t>(entries_.size());
-  entries_.emplace_back(std::move(key), Counts{});
-  index_.emplace(entries_.back().first, idx);
-  by_name_[entries_.back().first.name].push_back(idx);
+  entries_.emplace_back(RRKey{std::string(name), type, std::string(rdata)},
+                        Counts{});
+  hashes_.push_back(h);
+  slots_[i] = idx + 1;
+  const NameId id = names_.intern(name);
+  if (id >= by_name_.size()) by_name_.resize(id + 1);
+  by_name_[id].push_back(idx);
   return entries_.back().second;
 }
 
-void CacheHitRateTracker::record_below(const std::string& name, RRType type,
-                                       const std::string& rdata,
+void CacheHitRateTracker::record_below(std::string_view name, RRType type,
+                                       std::string_view rdata,
                                        std::uint32_t ttl) {
   Counts& counts = entry_for(name, type, rdata);
   if (counts.below + counts.above == 0) counts.ttl = ttl;
   ++counts.below;
 }
 
-void CacheHitRateTracker::record_above(const std::string& name, RRType type,
-                                       const std::string& rdata,
+void CacheHitRateTracker::record_above(std::string_view name, RRType type,
+                                       std::string_view rdata,
                                        std::uint32_t ttl) {
   Counts& counts = entry_for(name, type, rdata);
   if (counts.below + counts.above == 0) counts.ttl = ttl;
@@ -41,8 +82,21 @@ void CacheHitRateTracker::merge_from(const CacheHitRateTracker& other) {
 
 const CacheHitRateTracker::Counts* CacheHitRateTracker::find(
     const RRKey& key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : &entries_[it->second].second;
+  const std::uint64_t h = rr_hash(key.name, key.type, key.rdata);
+  std::size_t i = static_cast<std::size_t>(h) & slot_mask_;
+  while (true) {
+    const std::uint32_t ref = slots_[i];
+    if (ref == 0) return nullptr;
+    const std::uint32_t idx = ref - 1;
+    if (hashes_[idx] == h) {
+      const RRKey& stored = entries_[idx].first;
+      if (stored.type == key.type && stored.name == key.name &&
+          stored.rdata == key.rdata) {
+        return &entries_[idx].second;
+      }
+    }
+    i = (i + 1) & slot_mask_;
+  }
 }
 
 double CacheHitRateTracker::dhr(const Counts& counts) noexcept {
@@ -53,10 +107,10 @@ double CacheHitRateTracker::dhr(const Counts& counts) noexcept {
 }
 
 std::span<const std::uint32_t> CacheHitRateTracker::rrs_of_name(
-    const std::string& name) const {
-  const auto it = by_name_.find(name);
-  if (it == by_name_.end()) return {};
-  return it->second;
+    std::string_view name) const {
+  const NameId id = names_.find(name);
+  if (id == kInvalidNameId || id >= by_name_.size()) return {};
+  return by_name_[id];
 }
 
 std::vector<double> CacheHitRateTracker::all_dhr() const {

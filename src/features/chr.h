@@ -8,15 +8,25 @@
 //   CHR_i          = DHR for each of the n misses        [cache hit rate]
 // i.e. the CHR *distribution* repeats an RR's DHR once per miss, exactly
 // the paper's black-box simplification of the renewal model.
+//
+// Hot-path layout (DESIGN.md §11): the RR index is a flat open-addressed
+// slot array probed with a precomputed (name, type, rdata) hash, and the
+// per-name index maps names through an interned NameTable to dense ids.
+// Re-recording an already-seen RR therefore compares string_views against
+// the stored entry and allocates nothing; only first observations
+// materialize strings.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "dns/name_table.h"
 #include "dns/rr.h"
+#include "util/rng.h"
 
 namespace dnsnoise {
 
@@ -28,10 +38,17 @@ class CacheHitRateTracker {
     std::uint32_t ttl = 0;    // authoritative TTL (first observation wins)
   };
 
-  void record_below(const std::string& name, RRType type,
-                    const std::string& rdata, std::uint32_t ttl = 0);
-  void record_above(const std::string& name, RRType type,
-                    const std::string& rdata, std::uint32_t ttl = 0);
+  CacheHitRateTracker();
+
+  CacheHitRateTracker(const CacheHitRateTracker&) = delete;
+  CacheHitRateTracker& operator=(const CacheHitRateTracker&) = delete;
+  CacheHitRateTracker(CacheHitRateTracker&&) = default;
+  CacheHitRateTracker& operator=(CacheHitRateTracker&&) = default;
+
+  void record_below(std::string_view name, RRType type, std::string_view rdata,
+                    std::uint32_t ttl = 0);
+  void record_above(std::string_view name, RRType type, std::string_view rdata,
+                    std::uint32_t ttl = 0);
 
   std::size_t unique_rrs() const noexcept { return entries_.size(); }
 
@@ -47,10 +64,11 @@ class CacheHitRateTracker {
   /// clamped at 0 when above > below).
   static double dhr(const Counts& counts) noexcept;
 
-  /// Indices (into entries()) of all RRs whose name is `name`.
-  std::span<const std::uint32_t> rrs_of_name(const std::string& name) const;
+  /// Indices (into entries()) of all RRs whose name is `name`.  Never
+  /// allocates.
+  std::span<const std::uint32_t> rrs_of_name(std::string_view name) const;
 
-  /// Flat access to every (key, counts) entry.
+  /// Flat access to every (key, counts) entry, in first-observation order.
   std::span<const std::pair<RRKey, Counts>> entries() const noexcept {
     return entries_;
   }
@@ -63,12 +81,25 @@ class CacheHitRateTracker {
   std::vector<double> chr_distribution() const;
 
  private:
-  std::vector<std::pair<RRKey, Counts>> entries_;
-  std::unordered_map<RRKey, std::uint32_t> index_;
-  std::unordered_map<std::string, std::vector<std::uint32_t>> by_name_;
+  static std::uint64_t rr_hash(std::string_view name, RRType type,
+                               std::string_view rdata) noexcept {
+    return mix64(fnv1a64(name) ^
+                 mix64(static_cast<std::uint64_t>(type) + 0x9e3779b9u) ^
+                 (fnv1a64(rdata) * 0x9e3779b97f4a7c15ull));
+  }
 
-  Counts& entry_for(const std::string& name, RRType type,
-                    const std::string& rdata);
+  /// Counts slot for the RR, created on first observation.
+  Counts& entry_for(std::string_view name, RRType type,
+                    std::string_view rdata);
+
+  void grow_slots(std::size_t min_slots);
+
+  std::vector<std::pair<RRKey, Counts>> entries_;
+  std::vector<std::uint64_t> hashes_;  // parallel to entries_; never recomputed
+  std::vector<std::uint32_t> slots_;   // entry index + 1; 0 = empty
+  std::size_t slot_mask_ = 0;
+  NameTable names_{/*track_labels=*/false};
+  std::vector<std::vector<std::uint32_t>> by_name_;  // indexed by NameId
 };
 
 }  // namespace dnsnoise

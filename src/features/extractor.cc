@@ -58,8 +58,9 @@ GroupFeatures compute_group_features(
   std::vector<std::pair<double, std::uint64_t>> chr_sample;  // (DHR, misses)
   std::size_t rr_count = 0;
   std::size_t rr_zero = 0;
+  std::string name;  // one buffer reused across the whole group
   for (const DomainNameTree::Node* node : group) {
-    const std::string name = DomainNameTree::full_name(*node);
+    DomainNameTree::full_name_into(*node, name);
     for (const std::uint32_t idx : chr.rrs_of_name(name)) {
       const auto& [key, counts] = chr.entries()[idx];
       const double rate = CacheHitRateTracker::dhr(counts);

@@ -57,8 +57,8 @@ void DisposableZoneMiner::mine_zone(
     }
   }
 
-  // Lines 15-17: recurse into child zones.
-  for (auto& [label, child] : zone.children) {
+  // Lines 15-17: recurse into child zones (sorted = legacy map order).
+  for (DomainNameTree::Node* child : zone.children()) {
     mine_zone(tree, *child, chr, out);
   }
 }

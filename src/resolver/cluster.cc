@@ -124,26 +124,25 @@ std::size_t RdnsCluster::pick_server(std::uint64_t client_id) {
   return 0;
 }
 
-QueryOutcome RdnsCluster::query(std::uint64_t client_id,
-                                const Question& question, SimTime now) {
-  QueryOutcome outcome;
-  outcome.server = pick_server(client_id);
-  DnsCache& cache = caches_[outcome.server];
-  const QuestionKey key{question.name.text(), question.type};
+QueryView RdnsCluster::query_view(std::uint64_t client_id,
+                                  const Question& question, SimTime now) {
+  QueryView view;
+  view.server = pick_server(client_id);
+  DnsCache& cache = caches_[view.server];
+  const std::string& qname = question.name.text();
 
   ServerMetrics* const metrics =
-      server_metrics_.empty() ? nullptr : &server_metrics_[outcome.server];
+      server_metrics_.empty() ? nullptr : &server_metrics_[view.server];
 
-  if (const CachedAnswer* cached = cache.lookup(key, now)) {
-    outcome.rcode = cached->rcode;
-    outcome.cache_hit = true;
-    outcome.answers = cached->answers;
+  if (const CachedAnswer* cached = cache.lookup(qname, question.type, now)) {
+    view.rcode = cached->rcode;
+    view.cache_hit = true;
+    view.answers = cached->answers;
     if (metrics != nullptr) metrics->cache_hits->add();
   } else {
     // Cache miss: iterate to the authority; its answer is observed above.
-    const AuthorityAnswer upstream = authority_.resolve(question, now);
-    outcome.rcode = upstream.rcode;
-    outcome.answers = upstream.answers;
+    AuthorityAnswer upstream = authority_.resolve(question, now);
+    view.rcode = upstream.rcode;
     ++above_answers_;
     if (metrics != nullptr) {
       metrics->cache_misses->add();
@@ -157,27 +156,49 @@ QueryOutcome RdnsCluster::query(std::uint64_t client_id,
       ++dnssec_validations_;
       if (upstream.disposable_zone) ++dnssec_disposable_validations_;
     }
+    // Buffer the above-tap copy before the answers may be moved into the
+    // cache below.
     if (!observers_.empty()) {
       buffer_tap_event(now, TapDirection::kAbove, 0, question, upstream.rcode,
                        upstream.answers);
     }
+    const CachedAnswer* resident = nullptr;
     if (upstream.rcode == RCode::NoError) {
-      cache.insert_positive(key, upstream.answers, now,
-                            upstream.disposable_zone);
+      resident = cache.insert_positive(qname, question.type, upstream.answers,
+                                       now, upstream.disposable_zone);
     } else if (upstream.rcode == RCode::NXDomain) {
-      cache.insert_negative(key, now);
+      cache.insert_negative(qname, question.type, now);
+    }
+    if (resident != nullptr) {
+      view.answers = resident->answers;
+    } else {
+      // Uncacheable (zero TTL / empty / error): park the answers in the
+      // scratch buffer so the view outlives `upstream`.
+      miss_answers_ = std::move(upstream.answers);
+      view.answers = miss_answers_;
     }
   }
 
   ++below_answers_;
   if (metrics != nullptr) {
     below_answers_metric_->add();
-    if (outcome.rcode == RCode::NXDomain) metrics->nxdomain->add();
+    if (view.rcode == RCode::NXDomain) metrics->nxdomain->add();
   }
   if (!observers_.empty()) {
     buffer_tap_event(now, TapDirection::kBelow, client_id, question,
-                     outcome.rcode, outcome.answers);
+                     view.rcode, view.answers);
   }
+  return view;
+}
+
+QueryOutcome RdnsCluster::query(std::uint64_t client_id,
+                                const Question& question, SimTime now) {
+  const QueryView view = query_view(client_id, question, now);
+  QueryOutcome outcome;
+  outcome.rcode = view.rcode;
+  outcome.cache_hit = view.cache_hit;
+  outcome.server = view.server;
+  outcome.answers.assign(view.answers.begin(), view.answers.end());
   return outcome;
 }
 

@@ -76,6 +76,18 @@ struct QueryOutcome {
   std::vector<ResourceRecord> answers;
 };
 
+/// Zero-copy variant of QueryOutcome: `answers` views storage owned by the
+/// cluster (the resident cache entry, or the cluster's miss scratch buffer)
+/// and stays valid until the next query()/query_view()/flush_taps() call on
+/// the same cluster.  The steady-state hit path hands out a view of the
+/// cache entry without copying a single record.
+struct QueryView {
+  RCode rcode = RCode::NoError;
+  bool cache_hit = false;
+  std::size_t server = 0;
+  std::span<const ResourceRecord> answers;
+};
+
 class RdnsCluster {
  public:
   /// `authority` must outlive the cluster.
@@ -136,9 +148,17 @@ class RdnsCluster {
 
   // -------------------------------------------------------------------------
 
-  /// Resolves one client query at simulated time `now`.
+  /// Resolves one client query at simulated time `now`.  Copies the answer
+  /// set into the outcome; hot callers should prefer query_view().
   QueryOutcome query(std::uint64_t client_id, const Question& question,
                      SimTime now);
+
+  /// Resolves one client query without copying answers: on a cache hit the
+  /// returned view aliases the resident cache entry, on a miss it aliases
+  /// either the freshly inserted entry or the cluster's scratch buffer (for
+  /// uncacheable answers).  See QueryView for the lifetime contract.
+  QueryView query_view(std::uint64_t client_id, const Question& question,
+                       SimTime now);
 
   std::size_t server_count() const noexcept { return caches_.size(); }
   const DnsCacheStats& server_stats(std::size_t server) const {
@@ -213,6 +233,9 @@ class RdnsCluster {
   std::vector<TapObserver*> observers_;
   std::vector<TapEvent> tap_events_;
   std::vector<ResourceRecord> tap_answers_;
+  // Owns the answers of the last uncacheable miss so QueryView can alias
+  // them (reused across queries; see QueryView lifetime contract).
+  std::vector<ResourceRecord> miss_answers_;
   SinkAdapter sink_adapter_;
   bool sink_adapter_registered_ = false;
   std::uint64_t below_answers_ = 0;

@@ -5,9 +5,11 @@
 namespace dnsnoise {
 
 DnsCache::DnsCache(const DnsCacheConfig& config)
-    : config_(config), cache_(config.capacity) {
+    : config_(config),
+      names_(/*track_labels=*/false),
+      cache_(config.capacity) {
   cache_.set_eviction_listener(
-      [this](const QuestionKey&, const CachedAnswer& answer) {
+      [this](const Key&, const CachedAnswer& answer) {
         ++stats_.evictions;
         if (answer.expires > now_) {
           ++stats_.premature_evictions;
@@ -18,8 +20,17 @@ DnsCache::DnsCache(const DnsCacheConfig& config)
       });
 }
 
-const CachedAnswer* DnsCache::lookup(const QuestionKey& key, SimTime now) {
+const CachedAnswer* DnsCache::lookup(std::string_view name, RRType type,
+                                     SimTime now) {
   now_ = now;
+  const NameId id = names_.find(name);
+  if (id == kInvalidNameId) {
+    // Name never cached (or long since forgotten by the intern table's
+    // clients): definite miss, no LRU probe needed.
+    ++stats_.misses;
+    return nullptr;
+  }
+  const Key key = make_key(id, type);
   CachedAnswer* entry = cache_.get(key);
   if (entry == nullptr) {
     ++stats_.misses;
@@ -34,32 +45,35 @@ const CachedAnswer* DnsCache::lookup(const QuestionKey& key, SimTime now) {
   return entry;
 }
 
-void DnsCache::insert_positive(const QuestionKey& key,
-                               std::vector<ResourceRecord> answers,
-                               SimTime now, bool disposable_hint) {
-  if (answers.empty()) return;
+const CachedAnswer* DnsCache::insert_positive(
+    std::string_view name, RRType type, std::vector<ResourceRecord>& answers,
+    SimTime now, bool disposable_hint) {
+  if (answers.empty()) return nullptr;
   now_ = now;
   std::uint32_t ttl = answers.front().ttl;
   for (const ResourceRecord& rr : answers) ttl = std::min(ttl, rr.ttl);
   ttl = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
-  if (ttl == 0) return;  // zero-TTL answers are never cached
+  if (ttl == 0) return nullptr;  // zero-TTL answers are never cached
+  const Key key = make_key(names_.intern(name), type);
   CachedAnswer entry;
   entry.rcode = RCode::NoError;
   entry.answers = std::move(answers);
   entry.inserted = now;
   entry.expires = now + ttl;
   entry.disposable_hint = disposable_hint;
-  if (config_.low_priority_disposable && disposable_hint) {
-    cache_.put_cold(key, std::move(entry));
-  } else {
-    cache_.put(key, std::move(entry));
-  }
+  CachedAnswer* resident =
+      (config_.low_priority_disposable && disposable_hint)
+          ? cache_.put_cold(key, std::move(entry))
+          : cache_.put(key, std::move(entry));
   ++stats_.inserts;
+  return resident;
 }
 
-void DnsCache::insert_negative(const QuestionKey& key, SimTime now) {
+void DnsCache::insert_negative(std::string_view name, RRType type,
+                               SimTime now) {
   if (!config_.negative_cache) return;
   now_ = now;
+  const Key key = make_key(names_.intern(name), type);
   CachedAnswer entry;
   entry.rcode = RCode::NXDomain;
   entry.inserted = now;

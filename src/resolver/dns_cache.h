@@ -4,11 +4,21 @@
 // TTL layer.  Expired entries count as misses.  Negative caching
 // (RFC 2308) is optional — the paper observes the monitored resolvers were
 // *not* honoring it, so the default is off (Section III-C1).
+//
+// Internally keyed on (NameId, qtype): qnames are interned once into a
+// per-cache NameTable, the LRU is probed with the precomputed name hash,
+// and the hot lookup/insert path takes string_views — no QuestionKey
+// construction, no string copies.  A lookup for a never-interned name is a
+// miss without touching the LRU at all.  The QuestionKey overloads remain
+// as compatibility shims.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "dns/name_table.h"
 #include "dns/rr.h"
 #include "resolver/lru_cache.h"
 #include "util/sim_time.h"
@@ -73,33 +83,83 @@ class DnsCache {
  public:
   explicit DnsCache(const DnsCacheConfig& config);
 
-  /// Fresh cached answer for `key`, or nullptr (miss).  Misses and hits are
-  /// tallied; expired entries are erased on access.
-  const CachedAnswer* lookup(const QuestionKey& key, SimTime now);
+  // --- Hot path (string_view, interned) ------------------------------------
 
-  /// Inserts a positive answer.  TTL is the minimum TTL across `answers`,
-  /// clamped to [min_ttl, max_ttl]; an empty answer set or effective TTL of
-  /// zero is not cached.
-  void insert_positive(const QuestionKey& key,
-                       std::vector<ResourceRecord> answers, SimTime now,
-                       bool disposable_hint = false);
+  /// Fresh cached answer for (name, type), or nullptr (miss).  Misses and
+  /// hits are tallied; expired entries are erased on access.  Never
+  /// allocates; the pointer stays valid until the next mutating call.
+  const CachedAnswer* lookup(std::string_view name, RRType type, SimTime now);
+
+  /// Inserts a positive answer and returns the resident entry, or nullptr
+  /// when the answer is uncacheable (empty set or effective TTL 0 after the
+  /// [min_ttl, max_ttl] clamp).  `answers` is consumed (moved from) only on
+  /// a non-null return, so callers may keep using it when the insert was
+  /// declined.
+  const CachedAnswer* insert_positive(std::string_view name, RRType type,
+                                      std::vector<ResourceRecord>& answers,
+                                      SimTime now,
+                                      bool disposable_hint = false);
 
   /// Inserts a negative (NXDOMAIN) entry if negative caching is enabled.
-  void insert_negative(const QuestionKey& key, SimTime now);
+  void insert_negative(std::string_view name, RRType type, SimTime now);
+
+  // --- QuestionKey compatibility shims -------------------------------------
+
+  const CachedAnswer* lookup(const QuestionKey& key, SimTime now) {
+    return lookup(key.name, key.type, now);
+  }
+  void insert_positive(const QuestionKey& key,
+                       std::vector<ResourceRecord> answers, SimTime now,
+                       bool disposable_hint = false) {
+    insert_positive(key.name, key.type, answers, now, disposable_hint);
+  }
+  void insert_negative(const QuestionKey& key, SimTime now) {
+    insert_negative(key.name, key.type, now);
+  }
+
+  // -------------------------------------------------------------------------
 
   const DnsCacheStats& stats() const noexcept { return stats_; }
   std::size_t size() const noexcept { return cache_.size(); }
   std::size_t capacity() const noexcept { return cache_.capacity(); }
 
-  /// Visits every resident entry (fresh or expired), MRU first.
+  /// Visits every resident entry (fresh or expired), MRU first.  The
+  /// visitor receives a materialized QuestionKey (this is the diagnostic /
+  /// test path, not the hot one).
   template <typename Visitor>
   void for_each(Visitor&& visit) const {
-    cache_.for_each(std::forward<Visitor>(visit));
+    cache_.for_each([this, &visit](const Key& key, const CachedAnswer& value) {
+      visit(QuestionKey{std::string(names_.name(key.name)), key.type}, value);
+    });
   }
 
  private:
+  /// Interned cache key with its precomputed hash (the LRU never rehashes
+  /// key bytes).
+  struct Key {
+    NameId name = kInvalidNameId;
+    RRType type = RRType::A;
+    std::uint64_t hash = 0;
+
+    friend bool operator==(const Key& a, const Key& b) noexcept {
+      return a.name == b.name && a.type == b.type;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      return static_cast<std::size_t>(key.hash);
+    }
+  };
+
+  Key make_key(NameId id, RRType type) const noexcept {
+    return Key{id, type,
+               mix64(names_.name_hash(id) ^
+                     mix64(static_cast<std::uint64_t>(type)))};
+  }
+
   DnsCacheConfig config_;
-  LruCache<QuestionKey, CachedAnswer> cache_;
+  NameTable names_;  // qname intern pool; lives as long as the cache
+  LruCache<Key, CachedAnswer, KeyHash> cache_;
   DnsCacheStats stats_;
   SimTime now_ = 0;  // updated on every lookup/insert, read by the listener
 };

@@ -2,18 +2,23 @@
 
 namespace dnsnoise {
 
-std::string MetricsLabel::generate(Rng& rng) const {
-  std::string out = tag_;
+void MetricsLabel::append_to(std::string& out, Rng& rng) const {
+  out += tag_;
   for (int i = 0; i < fields_; ++i) {
     out.push_back('-');
-    out += std::to_string(rng.below(1'000'000'000));
+    detail::append_decimal(out, rng.below(1'000'000'000));
   }
   if (percent_) {
     out += "-0-p-";
     const std::uint64_t pct = rng.below(100);
     if (pct < 10) out.push_back('0');
-    out += std::to_string(pct);
+    detail::append_decimal(out, pct);
   }
+}
+
+std::string MetricsLabel::generate(Rng& rng) const {
+  std::string out;
+  append_to(out, rng);
   return out;
 }
 
@@ -33,15 +38,22 @@ constexpr const char* kHostWords[] = {
 
 }  // namespace
 
-std::string human_hostname(std::size_t i) {
+void human_hostname_into(std::size_t i, std::string& out) {
   const std::size_t word_count = std::size(kHostWords);
-  if (i < word_count) return kHostWords[i];
-  // Overflow variants get a small numeric suffix ("api3", "www12").
-  return std::string(kHostWords[i % word_count]) +
-         std::to_string(i / word_count + 1);
+  out += kHostWords[i % word_count];
+  if (i >= word_count) {
+    // Overflow variants get a small numeric suffix ("api3", "www12").
+    detail::append_decimal(out, i / word_count + 1);
+  }
 }
 
-std::string pseudo_word(std::uint64_t i, std::size_t min_len) {
+std::string human_hostname(std::size_t i) {
+  std::string out;
+  human_hostname_into(i, out);
+  return out;
+}
+
+void pseudo_word_into(std::uint64_t i, std::string& out, std::size_t min_len) {
   static constexpr const char* kSyllables[] = {
       "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
       "fa", "fe", "fi", "fo", "ka", "ke", "ki", "ko", "ku", "la",
@@ -51,14 +63,19 @@ std::string pseudo_word(std::uint64_t i, std::size_t min_len) {
       "ve", "vi", "vo", "za", "ze", "zi", "zo", "zu", "pa", "po",
   };
   constexpr std::uint64_t kBase = std::size(kSyllables);
+  const std::size_t start = out.size();
   // Base-syllable positional encoding: distinct i => distinct word.
-  std::string word;
   std::uint64_t rest = i;
   do {
-    word += kSyllables[rest % kBase];
+    out += kSyllables[rest % kBase];
     rest /= kBase;
   } while (rest != 0);
-  while (word.size() < min_len) word += kSyllables[(i / 7) % kBase];
+  while (out.size() - start < min_len) out += kSyllables[(i / 7) % kBase];
+}
+
+std::string pseudo_word(std::uint64_t i, std::size_t min_len) {
+  std::string word;
+  pseudo_word_into(i, word, min_len);
   return word;
 }
 
@@ -73,12 +90,17 @@ std::string HumanLabel::generate(Rng& rng) const {
   return pool_[rng.below(pool_.size())];
 }
 
+void NamePattern::generate_into(std::string& out, Rng& rng) const {
+  const std::size_t start = out.size();
+  for (const auto& level : levels_) {
+    if (out.size() > start) out.push_back('.');
+    level->append_to(out, rng);
+  }
+}
+
 std::string NamePattern::generate(Rng& rng) const {
   std::string out;
-  for (const auto& level : levels_) {
-    if (!out.empty()) out.push_back('.');
-    out += level->generate(rng);
-  }
+  generate_into(out, rng);
   return out;
 }
 

@@ -5,8 +5,13 @@
 // tags.  A NamePattern is an ordered list of per-level generators (leftmost
 // label first) applied on top of a zone apex; it reproduces the structural
 // property the classifier keys on: same depth, algorithmic label sets.
+//
+// Every generator offers two forms drawing the SAME RNG sequence: generate()
+// returns a fresh string, append_to() appends into a caller-owned buffer so
+// the steady-state sampling path reuses capacity and never allocates.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -16,11 +21,27 @@
 
 namespace dnsnoise {
 
+namespace detail {
+
+/// Appends the decimal rendering of `value` (allocation-free).
+inline void append_decimal(std::string& out, std::uint64_t value) {
+  char buf[20];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+}  // namespace detail
+
 /// Generates one label of a domain name.
 class LabelGenerator {
  public:
   virtual ~LabelGenerator() = default;
   virtual std::string generate(Rng& rng) const = 0;
+  /// Appends one label to `out`, consuming exactly the same RNG draws as
+  /// generate().
+  virtual void append_to(std::string& out, Rng& rng) const {
+    out += generate(rng);
+  }
 };
 
 /// Constant label ("p2", "avqs", "device").
@@ -28,6 +49,7 @@ class FixedLabel final : public LabelGenerator {
  public:
   explicit FixedLabel(std::string value) : value_(std::move(value)) {}
   std::string generate(Rng&) const override { return value_; }
+  void append_to(std::string& out, Rng&) const override { out += value_; }
 
  private:
   std::string value_;
@@ -54,6 +76,12 @@ class RandomStringLabel final : public LabelGenerator {
   std::string generate(Rng& rng) const override {
     return rng.string_over(alphabet_, length_);
   }
+  void append_to(std::string& out, Rng& rng) const override {
+    // Same per-character draws as Rng::string_over.
+    for (std::size_t i = 0; i < length_; ++i) {
+      out.push_back(alphabet_[rng.below(alphabet_.size())]);
+    }
+  }
 
  private:
   std::string alphabet_;
@@ -66,6 +94,9 @@ class CounterLabel final : public LabelGenerator {
   CounterLabel(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {}
   std::string generate(Rng& rng) const override {
     return std::to_string(lo_ + rng.below(hi_ - lo_ + 1));
+  }
+  void append_to(std::string& out, Rng& rng) const override {
+    detail::append_decimal(out, lo_ + rng.below(hi_ - lo_ + 1));
   }
 
  private:
@@ -82,6 +113,9 @@ class ChoiceLabel final : public LabelGenerator {
   std::string generate(Rng& rng) const override {
     return choices_[rng.below(choices_.size())];
   }
+  void append_to(std::string& out, Rng& rng) const override {
+    out += choices_[rng.below(choices_.size())];
+  }
 
  private:
   std::vector<std::string> choices_;
@@ -97,6 +131,7 @@ class MetricsLabel final : public LabelGenerator {
       : tag_(std::move(tag)), fields_(fields), percent_(percent_suffix) {}
 
   std::string generate(Rng& rng) const override;
+  void append_to(std::string& out, Rng& rng) const override;
 
  private:
   std::string tag_;
@@ -111,6 +146,9 @@ class HumanLabel final : public LabelGenerator {
   /// `variants`: how many distinct labels this instance can emit.
   explicit HumanLabel(std::size_t variants = 32);
   std::string generate(Rng& rng) const override;
+  void append_to(std::string& out, Rng& rng) const override {
+    out += pool_[rng.below(pool_.size())];
+  }
 
  private:
   std::vector<std::string> pool_;
@@ -124,14 +162,24 @@ class OctetLabel final : public LabelGenerator {
   std::string generate(Rng& rng) const override {
     return std::to_string(rng.below(256));
   }
+  void append_to(std::string& out, Rng& rng) const override {
+    detail::append_decimal(out, rng.below(256));
+  }
 };
 
 /// Deterministic human hostname for index i ("www", "mail", ..., "www2").
 std::string human_hostname(std::size_t i);
 
+/// Appends human_hostname(i) without allocating.
+void human_hostname_into(std::size_t i, std::string& out);
+
 /// Deterministic pronounceable pseudo-word for index i.  Distinct indices
 /// yield distinct words (base-syllable encoding), padded to `min_len`.
 std::string pseudo_word(std::uint64_t i, std::size_t min_len = 5);
+
+/// Appends pseudo_word(i, min_len) without allocating.
+void pseudo_word_into(std::uint64_t i, std::string& out,
+                      std::size_t min_len = 5);
 
 /// An ordered list of per-level generators, leftmost label first.
 class NamePattern {
@@ -148,6 +196,10 @@ class NamePattern {
 
   /// Renders the child part (no apex), e.g. "p2.a22a43lt5rwfg.191742.i1.v4".
   std::string generate(Rng& rng) const;
+
+  /// Appends what generate() would return (same RNG draws, no allocation
+  /// once `out` has capacity).
+  void generate_into(std::string& out, Rng& rng) const;
 
  private:
   std::vector<std::unique_ptr<LabelGenerator>> levels_;

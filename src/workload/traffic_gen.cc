@@ -60,6 +60,7 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
   if (days_generated_ != nullptr) days_generated_->add();
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
+  QuerySpec query;  // reused across every query of the day
   for (int hour = 0; hour < 24; ++hour) {
     const auto count = static_cast<std::uint64_t>(
         static_cast<double>(config_.queries_per_day) *
@@ -77,7 +78,7 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
                                spacing);
       const std::uint64_t client =
           client_id_for_rank(client_activity_.sample(rng_));
-      const QuerySpec query = models_[pick_model()]->sample_query(rng_);
+      models_[pick_model()]->sample_query_into(query, rng_);
       if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }
@@ -95,6 +96,7 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
   if (days_generated_ != nullptr) days_generated_->add();
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
+  QuerySpec query;  // reused across every query of the day
   std::uint64_t slot = 0;  // global query index across the whole day
   for (int hour = 0; hour < 24; ++hour) {
     const auto count = static_cast<std::uint64_t>(
@@ -121,7 +123,7 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
         if (shard_slots_skipped_ != nullptr) shard_slots_skipped_->add();
         continue;
       }
-      const QuerySpec query = models_[pick_model(q)]->sample_query(q);
+      models_[pick_model(q)]->sample_query_into(query, q);
       if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }

@@ -40,23 +40,31 @@ std::size_t DisposableZoneModel::name_depth() const noexcept {
 }
 
 QuerySpec DisposableZoneModel::sample_query(Rng& rng) {
+  QuerySpec out;
+  sample_query_into(out, rng);
+  return out;
+}
+
+void DisposableZoneModel::sample_query_into(QuerySpec& out, Rng& rng) {
+  out.qtype = config_.qtype;
   // Occasionally the generating software re-emits a recent name — the
   // paper notes disposable names are "not strictly looked up once".
   if (!recent_.empty() && rng.chance(config_.repeat_probability)) {
-    return {recent_[rng.below(recent_.size())], config_.qtype};
+    out.qname = recent_[rng.below(recent_.size())];
+    return;
   }
-  std::string qname = pattern_.generate(rng);
-  qname.push_back('.');
-  qname += config_.apex;
+  out.qname.clear();
+  pattern_.generate_into(out.qname, rng);
+  out.qname.push_back('.');
+  out.qname += config_.apex;
   if (config_.recent_window > 0) {
     if (recent_.size() < config_.recent_window) {
-      recent_.push_back(qname);
+      recent_.push_back(out.qname);
     } else {
-      recent_[recent_next_] = qname;
+      recent_[recent_next_] = out.qname;  // copy-assign reuses ring capacity
       recent_next_ = (recent_next_ + 1) % config_.recent_window;
     }
   }
-  return {std::move(qname), config_.qtype};
 }
 
 void DisposableZoneModel::install(SyntheticAuthority& authority) const {
@@ -101,10 +109,15 @@ PopularZoneModel::PopularZoneModel(PopularZoneConfig config)
 }
 
 QuerySpec PopularZoneModel::sample_query(Rng& rng) {
+  QuerySpec out;
+  sample_query_into(out, rng);
+  return out;
+}
+
+void PopularZoneModel::sample_query_into(QuerySpec& out, Rng& rng) {
   const std::size_t rank = popularity_.sample(rng);
-  const RRType qtype =
-      rng.chance(config_.aaaa_fraction) ? RRType::AAAA : RRType::A;
-  return {hosts_[std::min(rank, hosts_.size() - 1)], qtype};
+  out.qtype = rng.chance(config_.aaaa_fraction) ? RRType::AAAA : RRType::A;
+  out.qname = hosts_[std::min(rank, hosts_.size() - 1)];
 }
 
 void PopularZoneModel::install(SyntheticAuthority& authority) const {
@@ -122,8 +135,19 @@ CdnZoneModel::CdnZoneModel(CdnZoneConfig config)
       popularity_(std::max<std::size_t>(config_.shards, 1), config_.zipf_s) {}
 
 QuerySpec CdnZoneModel::sample_query(Rng& rng) {
+  QuerySpec out;
+  sample_query_into(out, rng);
+  return out;
+}
+
+void CdnZoneModel::sample_query_into(QuerySpec& out, Rng& rng) {
   const std::size_t shard = popularity_.sample(rng);
-  return {"e" + std::to_string(shard) + "." + config_.apex, RRType::A};
+  out.qtype = RRType::A;
+  out.qname.clear();
+  out.qname.push_back('e');
+  detail::append_decimal(out.qname, shard);
+  out.qname.push_back('.');
+  out.qname += config_.apex;
 }
 
 void CdnZoneModel::install(SyntheticAuthority& authority) const {
@@ -137,29 +161,47 @@ void CdnZoneModel::install(SyntheticAuthority& authority) const {
 OtherSitesModel::OtherSitesModel(OtherSitesConfig config)
     : config_(std::move(config)),
       popularity_(std::max<std::size_t>(config_.sites, 1), config_.zipf_s),
-      site_set_(std::make_shared<std::unordered_set<std::string>>()) {
+      site_set_(std::make_shared<SiteSet>()) {
   site_set_->reserve(config_.sites);
   for (std::size_t i = 0; i < config_.sites; ++i) {
     site_set_->insert(site_domain(i));
   }
 }
 
+void OtherSitesModel::append_site_domain(std::size_t i,
+                                         std::string& out) const {
+  pseudo_word_into(mix64(config_.seed ^ i) % (1u << 30), out);
+  out.push_back('.');
+  out += config_.tlds[i % config_.tlds.size()];
+}
+
 std::string OtherSitesModel::site_domain(std::size_t i) const {
-  const std::string word = pseudo_word(mix64(config_.seed ^ i) % (1u << 30));
-  return word + "." + config_.tlds[i % config_.tlds.size()];
+  std::string out;
+  append_site_domain(i, out);
+  return out;
 }
 
 QuerySpec OtherSitesModel::sample_query(Rng& rng) {
+  QuerySpec out;
+  sample_query_into(out, rng);
+  return out;
+}
+
+void OtherSitesModel::sample_query_into(QuerySpec& out, Rng& rng) {
   const std::size_t site = popularity_.sample(rng);
-  const std::string domain = site_domain(site);
   // Host index skews hard toward the site front page / www.
   const auto host = static_cast<std::size_t>(
       std::min<std::uint64_t>(rng.geometric(0.65),
                               config_.max_hosts_per_site - 1));
+  out.qtype = RRType::A;
+  out.qname.clear();
   if (host == 0) {
-    return {rng.chance(0.5) ? domain : "www." + domain, RRType::A};
+    if (!rng.chance(0.5)) out.qname += "www.";
+  } else {
+    human_hostname_into(host, out.qname);
+    out.qname.push_back('.');
   }
-  return {human_hostname(host) + "." + domain, RRType::A};
+  append_site_domain(site, out.qname);
 }
 
 void OtherSitesModel::install(SyntheticAuthority& authority) const {
@@ -172,8 +214,7 @@ void OtherSitesModel::install(SyntheticAuthority& authority) const {
         tld_name, [sites, site_labels, ttl](const Question& q, SimTime) {
           AuthorityAnswer answer;  // defaults to NXDOMAIN
           if (q.name.label_count() < site_labels) return answer;
-          const std::string site(q.name.nld_view(site_labels));
-          if (!sites->contains(site)) return answer;
+          if (!sites->contains(q.name.nld_view(site_labels))) return answer;
           answer.rcode = RCode::NoError;
           ResourceRecord rr;
           rr.name = q.name;
@@ -195,15 +236,30 @@ NxdomainModel::NxdomainModel(NxdomainConfig config)
     : config_(std::move(config)) {}
 
 QuerySpec NxdomainModel::sample_query(Rng& rng) {
+  QuerySpec out;
+  sample_query_into(out, rng);
+  return out;
+}
+
+void NxdomainModel::sample_query_into(QuerySpec& out, Rng& rng) {
   const std::size_t len =
       config_.min_len + rng.below(config_.max_len - config_.min_len + 1);
-  std::string junk =
-      rng.string_over("abcdefghijklmnopqrstuvwxyz0123456789", len);
+  out.qtype = RRType::A;
+  std::string& qname = out.qname;
+  qname.clear();
+  // Same per-character draws as Rng::string_over.
+  constexpr std::string_view kAlphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  for (std::size_t i = 0; i < len; ++i) {
+    qname.push_back(kAlphabet[rng.below(kAlphabet.size())]);
+  }
   // Junk 2LDs never collide with OtherSites' digit-free pseudo-words.
-  junk[rng.below(junk.size())] = static_cast<char>('0' + rng.below(10));
-  std::string qname = junk + "." + config_.tlds[rng.below(config_.tlds.size())];
-  if (rng.chance(config_.www_fraction)) qname = "www." + qname;
-  return {std::move(qname), RRType::A};
+  // (Identical statement to the historical one: the RHS draw sequences
+  // before the index draw.)
+  qname[rng.below(qname.size())] = static_cast<char>('0' + rng.below(10));
+  qname.push_back('.');
+  qname += config_.tlds[rng.below(config_.tlds.size())];
+  if (rng.chance(config_.www_fraction)) qname.insert(0, "www.");
 }
 
 }  // namespace dnsnoise

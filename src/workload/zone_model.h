@@ -36,6 +36,25 @@ struct QuerySpec {
   RRType qtype = RRType::A;
 };
 
+namespace detail {
+
+/// Heterogeneous string hashing/equality so name sets can be probed with
+/// string_views (no per-lookup std::string materialization).
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+};
+struct TransparentStringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace detail
+
 /// Interface: a tenant of the synthetic namespace.
 class ZoneModel {
  public:
@@ -49,6 +68,13 @@ class ZoneModel {
 
   /// Draws one query.
   virtual QuerySpec sample_query(Rng& rng) = 0;
+
+  /// Draws one query into `out`, reusing its buffers.  Consumes exactly the
+  /// same RNG draws as sample_query(); the built-in models override this
+  /// with allocation-free samplers, the default forwards.
+  virtual void sample_query_into(QuerySpec& out, Rng& rng) {
+    out = sample_query(rng);
+  }
 
   /// Registers this tenant's zones with the authority.
   virtual void install(SyntheticAuthority& authority) const = 0;
@@ -79,6 +105,7 @@ class DisposableZoneModel final : public ZoneModel {
   const std::string& name() const noexcept override { return config_.apex; }
   bool disposable() const noexcept override { return true; }
   QuerySpec sample_query(Rng& rng) override;
+  void sample_query_into(QuerySpec& out, Rng& rng) override;
   void install(SyntheticAuthority& authority) const override;
 
   const DisposableZoneConfig& config() const noexcept { return config_; }
@@ -112,6 +139,7 @@ class PopularZoneModel final : public ZoneModel {
   const std::string& name() const noexcept override { return config_.apex; }
   bool disposable() const noexcept override { return false; }
   QuerySpec sample_query(Rng& rng) override;
+  void sample_query_into(QuerySpec& out, Rng& rng) override;
   void install(SyntheticAuthority& authority) const override;
 
  private:
@@ -137,6 +165,7 @@ class CdnZoneModel final : public ZoneModel {
   const std::string& name() const noexcept override { return config_.apex; }
   bool disposable() const noexcept override { return false; }
   QuerySpec sample_query(Rng& rng) override;
+  void sample_query_into(QuerySpec& out, Rng& rng) override;
   void install(SyntheticAuthority& authority) const override;
 
  private:
@@ -166,16 +195,24 @@ class OtherSitesModel final : public ZoneModel {
   const std::string& name() const noexcept override { return label_; }
   bool disposable() const noexcept override { return false; }
   QuerySpec sample_query(Rng& rng) override;
+  void sample_query_into(QuerySpec& out, Rng& rng) override;
   void install(SyntheticAuthority& authority) const override;
 
   /// 2LD of site `i` (exposed for tests).
   std::string site_domain(std::size_t i) const;
 
  private:
+  using SiteSet =
+      std::unordered_set<std::string, detail::TransparentStringHash,
+                         detail::TransparentStringEq>;
+
+  /// Appends site_domain(i) without allocating.
+  void append_site_domain(std::size_t i, std::string& out) const;
+
   OtherSitesConfig config_;
   std::string label_ = "other-sites";
   ZipfSampler popularity_;
-  std::shared_ptr<std::unordered_set<std::string>> site_set_;
+  std::shared_ptr<SiteSet> site_set_;
 };
 
 // ---------------------------------------------------------------------------
@@ -195,6 +232,7 @@ class NxdomainModel final : public ZoneModel {
   const std::string& name() const noexcept override { return label_; }
   bool disposable() const noexcept override { return false; }
   QuerySpec sample_query(Rng& rng) override;
+  void sample_query_into(QuerySpec& out, Rng& rng) override;
   /// Registers nothing: unclaimed names default to NXDOMAIN.
   void install(SyntheticAuthority&) const override {}
 

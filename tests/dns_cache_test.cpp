@@ -155,5 +155,56 @@ TEST(DnsCacheTest, ForEachVisitsEntries) {
   EXPECT_EQ(count, 2u);
 }
 
+TEST(DnsCacheTest, StringViewPathMatchesQuestionKeyPath) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  std::vector<ResourceRecord> answers = one_answer("sv.example.com", 300);
+  const CachedAnswer* resident =
+      cache.insert_positive("sv.example.com", RRType::A, answers, 0);
+  ASSERT_NE(resident, nullptr);
+  EXPECT_TRUE(answers.empty());  // consumed on successful insert
+  ASSERT_EQ(resident->answers.size(), 1u);
+  // Both lookup flavours resolve to the same resident entry.
+  EXPECT_EQ(cache.lookup("sv.example.com", RRType::A, 10), resident);
+  EXPECT_EQ(cache.lookup(key_of("sv.example.com"), 10), resident);
+  // Same name, different qtype is a distinct key.
+  EXPECT_EQ(cache.lookup("sv.example.com", RRType::AAAA, 10), nullptr);
+}
+
+TEST(DnsCacheTest, LookupOfNeverInternedNameCountsMiss) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  std::vector<ResourceRecord> answers = one_answer("known.example.com", 300);
+  cache.insert_positive("known.example.com", RRType::A, answers, 0);
+  // The fast path rejects un-interned names before probing the LRU; the
+  // miss must still be accounted exactly like the legacy path did.
+  EXPECT_EQ(cache.lookup("unknown.example.com", RRType::A, 0), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(DnsCacheTest, DeclinedInsertLeavesAnswersIntact) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  std::vector<ResourceRecord> answers = one_answer("zero.example.com", 0);
+  // TTL 0 is not cacheable: insert_positive returns nullptr and must NOT
+  // have consumed the caller's answers (the cluster still serves them).
+  EXPECT_EQ(cache.insert_positive("zero.example.com", RRType::A, answers, 0),
+            nullptr);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].rdata, "192.0.2.7");
+}
+
+TEST(DnsCacheTest, ResidentPointerReflectsLatestInsert) {
+  DnsCache cache(DnsCacheConfig{.capacity = 16});
+  std::vector<ResourceRecord> first = one_answer("up.example.com", 300);
+  std::vector<ResourceRecord> second = {
+      {DomainName("up.example.com"), RRType::A, 300, "198.51.100.9"}};
+  cache.insert_positive("up.example.com", RRType::A, first, 0);
+  const CachedAnswer* resident =
+      cache.insert_positive("up.example.com", RRType::A, second, 1);
+  ASSERT_NE(resident, nullptr);
+  ASSERT_EQ(resident->answers.size(), 1u);
+  EXPECT_EQ(resident->answers[0].rdata, "198.51.100.9");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace dnsnoise

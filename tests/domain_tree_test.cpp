@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace dnsnoise {
 namespace {
@@ -132,6 +138,57 @@ TEST(DomainTreeTest, Effective2ldSkipsBarePublicSuffixes) {
   const auto zones = tree.effective_2ld_nodes(PublicSuffixList::builtin());
   ASSERT_EQ(zones.size(), 1u);
   EXPECT_EQ(DomainNameTree::full_name(*zones[0]), "b.com");
+}
+
+TEST(DomainTreeTest, ChildOrderMatchesSortedMapReference) {
+  // The flat edge-map tree sorts children lazily; traversal order must be
+  // indistinguishable from the historical std::map<std::string, Node>
+  // layout for every node, or miner output would reshuffle.
+  Rng rng(0x7ee);
+  DomainNameTree tree;
+  std::vector<std::string> inserted;
+  for (int i = 0; i < 400; ++i) {
+    std::string name = rng.hex_string(2 + rng.below(8));
+    name += ".h";
+    name += std::to_string(rng.below(12));
+    name += rng.chance(0.5) ? ".alpha.test" : ".beta.test";
+    tree.insert(DomainName(name));
+    inserted.push_back(std::move(name));
+  }
+  // Reference: the labels of every parent, ordered as std::map would order
+  // its keys (lexicographic operator<).
+  using HostMap = std::map<std::string, std::set<std::string>>;
+  std::map<std::string, std::map<std::string, HostMap>> reference;
+  for (const std::string& name : inserted) {
+    const DomainName parsed(name);  // labels: hex.h<N>.<alpha|beta>.test
+    reference[std::string(parsed.label_from_right(0))]
+             [std::string(parsed.label_from_right(1))]
+             [std::string(parsed.label_from_right(2))]
+                 .insert(std::string(parsed.label(0)));
+  }
+  ASSERT_EQ(tree.root().children().size(), reference.size());
+  std::size_t t = 0;
+  for (const auto& [tld, seconds] : reference) {
+    const DomainNameTree::Node* tld_node = tree.root().children()[t++];
+    ASSERT_EQ(tld_node->label, tld);
+    ASSERT_EQ(tld_node->children().size(), seconds.size());
+    std::size_t s = 0;
+    for (const auto& [second, hosts] : seconds) {
+      const DomainNameTree::Node* second_node = tld_node->children()[s++];
+      ASSERT_EQ(second_node->label, second);
+      ASSERT_EQ(second_node->children().size(), hosts.size());
+      std::size_t h = 0;
+      for (const auto& [host, leaves] : hosts) {
+        const DomainNameTree::Node* host_node = second_node->children()[h++];
+        ASSERT_EQ(host_node->label, host);
+        ASSERT_EQ(host_node->children().size(), leaves.size());
+        std::size_t l = 0;
+        for (const std::string& leaf : leaves) {
+          EXPECT_EQ(host_node->children()[l++]->label, leaf);
+        }
+      }
+    }
+  }
 }
 
 TEST(DomainTreeTest, GroupsAreScopedToTheZone) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -138,6 +142,103 @@ TEST_P(LruPropertyTest, SizeNeverExceedsCapacityUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, LruPropertyTest,
                          ::testing::Values(1, 2, 3, 16, 64, 257));
+
+// Full behavioural parity against a textbook std::list + std::map model:
+// the index-linked rehash-free layout must be observationally identical,
+// including recency order, put_cold placement, and eviction victims.
+class LruReferenceModel {
+ public:
+  explicit LruReferenceModel(std::size_t capacity) : capacity_(capacity) {}
+
+  const int* get(int key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Returns the evicted key, or nullopt.
+  std::optional<int> put(int key, int value, bool cold) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = value;
+      // cold re-put demotes to the eviction end, hot re-put promotes.
+      order_.splice(cold ? order_.end() : order_.begin(), order_,
+                    it->second);
+      return std::nullopt;
+    }
+    std::optional<int> evicted;
+    if (order_.size() >= capacity_) {
+      evicted = order_.back().first;
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    if (cold) {
+      order_.emplace_back(key, value);
+      index_[key] = std::prev(order_.end());
+    } else {
+      order_.emplace_front(key, value);
+      index_[key] = order_.begin();
+    }
+    return evicted;
+  }
+
+  bool erase(int key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return order_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<int, int>> order_;  // front = most recent
+  std::map<int, std::list<std::pair<int, int>>::iterator> index_;
+};
+
+TEST(LruCacheTest, ParityWithReferenceModel) {
+  for (const std::size_t capacity : {1u, 2u, 7u, 32u}) {
+    LruCache<int, int> cache(capacity);
+    LruReferenceModel model(capacity);
+    std::optional<int> last_evicted;
+    cache.set_eviction_listener([&last_evicted](const int& key, const int&) {
+      last_evicted = key;
+    });
+    Rng rng(0x1ab + capacity);
+    const int key_space = static_cast<int>(capacity * 3 + 1);
+    for (int step = 0; step < 20'000; ++step) {
+      const int key = static_cast<int>(rng.below(key_space));
+      switch (rng.below(4)) {
+        case 0: {
+          const int* got = cache.get(key);
+          const int* want = model.get(key);
+          ASSERT_EQ(got == nullptr, want == nullptr) << "step " << step;
+          if (want != nullptr) ASSERT_EQ(*got, *want) << "step " << step;
+          break;
+        }
+        case 1:
+        case 2: {
+          const bool cold = rng.chance(0.25);
+          last_evicted.reset();
+          int* resident = cold ? cache.put_cold(key, step)
+                               : cache.put(key, step);
+          const std::optional<int> evicted = model.put(key, step, cold);
+          ASSERT_NE(resident, nullptr);
+          ASSERT_EQ(*resident, step);
+          ASSERT_EQ(last_evicted, evicted) << "step " << step;
+          break;
+        }
+        default:
+          ASSERT_EQ(cache.erase(key), model.erase(key)) << "step " << step;
+          break;
+      }
+      ASSERT_EQ(cache.size(), model.size()) << "step " << step;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace dnsnoise

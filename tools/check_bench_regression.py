@@ -6,6 +6,13 @@ snapshot (written by bench/micro_throughput or bench/fig02_traffic_volume)
 against a committed baseline.  Higher is better; a gauge that dropped by
 more than ``--threshold`` (default 30%) fails the check.
 
+``*_allocs_per_query`` gauges are gated the other way round: lower is
+better, and growth beyond ``--alloc-threshold`` (default 20%) fails.
+Because the healthy steady-state value is exactly zero, the relative test
+alone would flag any nonzero noise, so ``--alloc-slack`` (default 0.05
+allocations/query) is added as an absolute allowance before the ratio is
+judged.
+
 Gauges present on only one side are reported but never fail the check:
 benchmarks come and go, and machine differences are judged only on the
 ratio of matched gauges.  A missing baseline file skips the check with
@@ -19,8 +26,8 @@ import json
 import sys
 
 
-def load_per_sec_gauges(path):
-    """Returns {name: value} for the *_per_sec gauges of one snapshot."""
+def load_gauges(path, suffix):
+    """Returns {name: value} for gauges of one snapshot ending in suffix."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     if doc.get("schema") != "dnsnoise-metrics-v1":
@@ -31,7 +38,7 @@ def load_per_sec_gauges(path):
     return {
         name: float(value)
         for name, value in gauges.items()
-        if name.endswith("_per_sec")
+        if name.endswith(suffix)
     }
 
 
@@ -45,10 +52,25 @@ def main():
         default=0.30,
         help="maximum tolerated fractional throughput drop (default 0.30)",
     )
+    parser.add_argument(
+        "--alloc-threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional allocs_per_query growth "
+        "(default 0.20)",
+    )
+    parser.add_argument(
+        "--alloc-slack",
+        type=float,
+        default=0.05,
+        help="absolute allocs/query allowance before the growth ratio is "
+        "judged, so ~zero baselines don't flag on noise (default 0.05)",
+    )
     args = parser.parse_args()
 
     try:
-        current = load_per_sec_gauges(args.current)
+        current = load_gauges(args.current, "_per_sec")
+        current_allocs = load_gauges(args.current, "allocs_per_query")
     except FileNotFoundError:
         print(f"error: current snapshot {args.current} not found")
         return 2
@@ -57,7 +79,8 @@ def main():
         return 2
 
     try:
-        baseline = load_per_sec_gauges(args.baseline)
+        baseline = load_gauges(args.baseline, "_per_sec")
+        baseline_allocs = load_gauges(args.baseline, "allocs_per_query")
     except FileNotFoundError:
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
@@ -65,8 +88,8 @@ def main():
         print(f"error: {err}")
         return 2
 
-    if not baseline:
-        print(f"baseline {args.baseline} has no *_per_sec gauges; skipping")
+    if not baseline and not baseline_allocs:
+        print(f"baseline {args.baseline} has no gated gauges; skipping")
         return 0
 
     regressions = []
@@ -85,15 +108,30 @@ def main():
             regressions.append(name)
         print(f"{status:>10}  {name}: {before:,.0f} -> {after:,.0f} "
               f"({change:+.1%})")
-    for name in sorted(set(current) - set(baseline)):
+    # Lower-is-better gauges: an alloc crept back into a zero-alloc path.
+    for name in sorted(baseline_allocs):
+        if name not in current_allocs:
+            print(f"note: {name} missing from current run (not gating)")
+            continue
+        before, after = baseline_allocs[name], current_allocs[name]
+        limit = before * (1.0 + args.alloc_threshold) + args.alloc_slack
+        status = "ok"
+        if after > limit:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"{status:>10}  {name}: {before:.3f} -> {after:.3f} "
+              f"allocs/query (limit {limit:.3f})")
+    for name in sorted((set(current) - set(baseline)) |
+                       (set(current_allocs) - set(baseline_allocs))):
         print(f"note: {name} is new (no baseline; not gating)")
 
     if regressions:
-        print(f"\n{len(regressions)} gauge(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        print(f"\n{len(regressions)} gauge(s) regressed: "
+              f"{', '.join(regressions)}")
         return 1
-    print("\nno throughput regressions beyond "
-          f"{args.threshold:.0%} threshold")
+    print("\nno regressions beyond thresholds "
+          f"(throughput -{args.threshold:.0%}, "
+          f"allocs +{args.alloc_threshold:.0%}+{args.alloc_slack})")
     return 0
 
 
