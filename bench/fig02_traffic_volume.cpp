@@ -10,14 +10,32 @@
 // volume so the gap direction and NX asymmetry reproduce clearly.
 
 #include <chrono>
+#include <string>
+#include <string_view>
 
 #include "bench_common.h"
 #include "engine/parallel_miner.h"
+#include "obs/json_writer.h"
+#include "obs/trace_export.h"
 
 using namespace dnsnoise;
 using namespace dnsnoise::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=FILE additionally records day 0 with sampled event tracing
+  // (1 in 64) and writes the dnsnoise-trace-v1 JSON there; the throughput
+  // loop below stays untraced, so the gated gauges are unaffected.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = std::string(arg.substr(8));
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   print_header("Fig. 2", "traffic above/below the RDNS cluster (2 days)");
 
   // Fig. 2 preset: a volume study, not a unique-share study.  The paper's
@@ -49,15 +67,27 @@ int main() {
     // both days run at steady state.
     ScenarioScale day_scale = options.scale;
     day_scale.traffic_stream = static_cast<std::uint64_t>(day);
+    MiningSession session(day_scale);
+    session.cluster(options.cluster)
+        .warmup(true, options.warmup_volume_fraction)
+        .threads(4);
+    const bool traced = day == 0 && !trace_path.empty();
+    if (traced) session.enable_tracing(true, 64);
     const EngineReport report =
-        MiningSession(day_scale)
-            .cluster(options.cluster)
-            .warmup(true, options.warmup_volume_fraction)
-            .threads(4)
-            .simulate(ScenarioDate::kDec30, capture, base_day + day);
+        session.simulate(ScenarioDate::kDec30, capture, base_day + day);
     if (!report.ok()) {
       std::fprintf(stderr, "day %d failed: %s\n", day, report.error.c_str());
       return 1;
+    }
+    if (traced) {
+      const std::string json = obs::to_json(
+          session.trace()->snapshot(),
+          {{"bench", "fig02"}, {"day", std::to_string(base_day + day)}});
+      if (!obs::write_json_file(trace_path, json)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", trace_path.c_str());
     }
 
     const HourlySeries& below = capture.below_series();

@@ -6,6 +6,8 @@
 
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace dnsnoise {
 
@@ -65,6 +67,27 @@ MiningSession& MiningSession::enable_metrics(bool enabled) {
   return *this;
 }
 
+MiningSession& MiningSession::enable_tracing(bool enabled,
+                                             std::uint64_t sample_every_n) {
+  if (enabled) {
+    obs::TraceConfig config;
+    config.sample_every_n = sample_every_n;
+    trace_ = std::make_shared<obs::TraceCollector>(config);
+  } else {
+    trace_ = nullptr;
+  }
+  options_.trace = trace_.get();
+  return *this;
+}
+
+MiningSession& MiningSession::enable_progress(bool enabled,
+                                              double interval_seconds) {
+  progress_ = enabled;
+  progress_interval_seconds_ = interval_seconds;
+  if (enabled && metrics_ == nullptr) enable_metrics();
+  return *this;
+}
+
 EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture) {
   return simulate(date, capture, scenario_day_index(date));
 }
@@ -110,12 +133,32 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
   obs::MetricsRegistry* const metrics = metrics_.get();
   obs::Timer* const shard_timer =
       metrics != nullptr ? &metrics->timer("engine.shard") : nullptr;
+  obs::TraceCollector* const trace = trace_.get();
+
+  // The heartbeat only loads the pre-resolved handles it captures here;
+  // shards keep hammering their relaxed atomics, no lock is shared.
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (progress_ && metrics != nullptr) {
+    obs::ProgressConfig progress_config;
+    progress_config.interval_seconds = progress_interval_seconds_;
+    progress_config.expected_queries = options_.scale.queries_per_day;
+    progress_config.shard_count = shard_count;
+    progress =
+        std::make_unique<obs::ProgressReporter>(*metrics, progress_config);
+  }
 
   std::atomic<std::uint64_t> queries{0};
   const auto run_shard = [&](std::size_t index) {
     ShardResult& shard = shards[index];
     try {
       obs::StageTimer shard_span(shard_timer);
+      obs::TraceSpan shard_trace(
+          trace != nullptr
+              ? &trace->stream(obs::TraceStage::kEngine,
+                               static_cast<std::uint32_t>(index))
+              : nullptr,
+          trace, obs::TraceOp::kEngineShard);
+      shard_trace.annotate({}, 0, obs::TraceOutcome::kNone, index);
       // Every shard builds its own Scenario: zone models mutate while
       // sampling and the authority keeps lookup counters, so sharing one
       // instance across workers would race.  Same (date, scale) => same
@@ -123,6 +166,7 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       Scenario scenario(date, options_.scale);
       ClusterConfig shard_config = options_.cluster.for_shard(index);
       shard_config.metrics = metrics;
+      shard_config.trace = trace;
       RdnsCluster cluster(shard_config, scenario.authority());
       const TrafficGenerator::ShardSpec spec{shard_count, index};
       std::uint64_t fed = 0;
@@ -153,6 +197,7 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       // Instrument the measured day only; warmup queries already fed above
       // through an uninstrumented generator.
       scenario.traffic().set_metrics(metrics);
+      scenario.traffic().set_trace(trace, static_cast<std::uint32_t>(index));
       scenario.traffic().run_day_shard(day_index, spec, feed);
       cluster.flush_taps();
       shard.capture.detach(cluster);
@@ -187,10 +232,16 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
     for (std::size_t i = 0; i < shard_count; ++i) run_shard(i);
   }
 
+  if (progress) progress->stop();
+
   std::string merge_error;
   {
     const obs::StageTimer merge_span(
         metrics != nullptr ? &metrics->timer("engine.merge") : nullptr);
+    const obs::TraceSpan merge_trace(
+        trace != nullptr ? &trace->stream(obs::TraceStage::kEngine, 0)
+                         : nullptr,
+        trace, obs::TraceOp::kEngineMerge);
     report.counters = merge_shards(shards, capture, merge_error);
   }
   if (!merge_error.empty()) {
@@ -233,6 +284,11 @@ std::vector<DisposableZoneFinding> mine_zones_parallel(
   obs::MetricsRegistry* const metrics = miner.config().metrics;
   const obs::StageTimer classify_span(
       metrics != nullptr ? &metrics->timer("engine.classify") : nullptr);
+  obs::TraceCollector* const trace = miner.config().trace;
+  const obs::TraceSpan classify_trace(
+      trace != nullptr ? &trace->stream(obs::TraceStage::kEngine, 0)
+                       : nullptr,
+      trace, obs::TraceOp::kEngineClassify);
   std::vector<DomainNameTree::Node*> roots = tree.effective_2ld_nodes(psl);
   std::vector<std::vector<DisposableZoneFinding>> outs(roots.size());
   const auto mine_root = [&](std::size_t i) {

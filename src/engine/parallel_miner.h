@@ -35,6 +35,7 @@
 
 namespace dnsnoise::obs {
 class MetricsRegistry;
+class TraceCollector;
 }  // namespace dnsnoise::obs
 
 namespace dnsnoise {
@@ -75,12 +76,32 @@ class MiningSession {
   /// disabled (the default), no instrumentation runs at all.  Re-enabling
   /// resets previously collected metrics.
   MiningSession& enable_metrics(bool enabled = true);
+  /// Opt-in event tracing (DESIGN.md §12): creates (or drops) the session's
+  /// TraceCollector.  Enabled, every stage records spans/instants — the
+  /// per-query workload/cluster spans head-sampled 1-in-`sample_every_n`
+  /// with deterministic per-shard phases — and run()'s MiningDayResult
+  /// carries the dnsnoise-trace-v1 JSON export.  Tracing never changes
+  /// findings (TracePipeline.* tests) and threads(N) records the same
+  /// trace content as threads(1).  Re-enabling resets collected events.
+  MiningSession& enable_tracing(bool enabled = true,
+                                std::uint64_t sample_every_n = 64);
+  /// Opt-in live heartbeat: while simulate()/run() shards execute, a
+  /// background thread rewrites one stderr status line (answered queries,
+  /// queries/sec, shards done, ETA) every `interval_seconds`.  Reads
+  /// pre-resolved metric handles only — no new hot-path locks — and
+  /// auto-enables metrics if they are off.
+  MiningSession& enable_progress(bool enabled = true,
+                                 double interval_seconds = 1.0);
 
   const PipelineOptions& options() const noexcept { return options_; }
   std::size_t thread_count() const noexcept { return threads_; }
   /// The session's live registry — null unless enable_metrics() was called.
   /// Valid until the session is destroyed or metrics are re-/dis-abled.
   obs::MetricsRegistry* metrics() const noexcept { return metrics_.get(); }
+  /// The session's live collector — null unless enable_tracing() was
+  /// called.  Valid until the session is destroyed or tracing is
+  /// re-/dis-abled.
+  obs::TraceCollector* trace() const noexcept { return trace_.get(); }
 
   /// Simulates one sharded day into `capture` (start_day(day_index)-reset
   /// here, the engine's single reset point — mirrors simulate_day), without
@@ -98,6 +119,9 @@ class MiningSession {
   PipelineOptions options_;
   std::size_t threads_ = 1;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::TraceCollector> trace_;
+  bool progress_ = false;
+  double progress_interval_seconds_ = 1.0;
 };
 
 /// Parallel drop-in for DisposableZoneMiner::mine: fans mine_zone over the

@@ -17,9 +17,28 @@ DisposableZoneMiner::DisposableZoneMiner(const BinaryClassifier& model,
     names_decolored_ = &metrics.counter("miner.names_decolored");
     features_timer_ = &metrics.timer("miner.features");
   }
+  if (config_.trace != nullptr) {
+    trace_stream_ = &config_.trace->stream(obs::TraceStage::kMiner, 0);
+  }
 }
 
 void DisposableZoneMiner::mine_zone(
+    DomainNameTree& tree, DomainNameTree::Node& zone,
+    const CacheHitRateTracker& chr,
+    std::vector<DisposableZoneFinding>& out) const {
+  // One span per top-level (effective-2LD) walk; the recursion below goes
+  // through mine_zone_walk so subzones don't open nested spans.
+  obs::TraceSpan zone_span(trace_stream_, config_.trace,
+                           obs::TraceOp::kMinerZone);
+  std::string zone_name;
+  if (trace_stream_ != nullptr) {
+    zone_name = DomainNameTree::full_name(zone);
+    zone_span.annotate(zone_name, 0, obs::TraceOutcome::kNone, zone.depth);
+  }
+  mine_zone_walk(tree, zone, chr, out);
+}
+
+void DisposableZoneMiner::mine_zone_walk(
     DomainNameTree& tree, DomainNameTree::Node& zone,
     const CacheHitRateTracker& chr,
     std::vector<DisposableZoneFinding>& out) const {
@@ -40,12 +59,21 @@ void DisposableZoneMiner::mine_zone(
       features = compute_group_features(nodes, zone.depth, chr);
     }
     if (groups_classified_ != nullptr) groups_classified_->add();
+    if (trace_stream_ != nullptr) {
+      trace_stream_->instant(obs::TraceOp::kMinerGroupClassify,
+                             config_.trace->now_ns(), {}, nodes.size());
+    }
     const double confidence = model_.predict_proba(features.as_array());
     if (confidence >= config_.threshold) {
       for (DomainNameTree::Node* node : nodes) tree.decolor(*node);
       if (groups_decolored_ != nullptr) {
         groups_decolored_->add();
         names_decolored_->add(nodes.size());
+      }
+      if (trace_stream_ != nullptr) {
+        trace_stream_->instant(obs::TraceOp::kMinerDecolor,
+                               config_.trace->now_ns(),
+                               DomainNameTree::full_name(zone), nodes.size());
       }
       DisposableZoneFinding finding;
       finding.zone = DomainNameTree::full_name(zone);
@@ -59,7 +87,7 @@ void DisposableZoneMiner::mine_zone(
 
   // Lines 15-17: recurse into child zones (sorted = legacy map order).
   for (DomainNameTree::Node* child : zone.children()) {
-    mine_zone(tree, *child, chr, out);
+    mine_zone_walk(tree, *child, chr, out);
   }
 }
 

@@ -14,6 +14,7 @@
 #include "features/domain_tree.h"
 #include "features/extractor.h"
 #include "ml/classifier.h"
+#include "obs/trace.h"
 
 namespace dnsnoise::obs {
 class Counter;
@@ -35,6 +36,12 @@ struct MinerConfig {
   /// instrumentation.  Safe to share across the engine's parallel zone
   /// walks (all handles are atomics).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Opt-in event tracing (DESIGN.md §12): per effective-2LD zone-visit
+  /// spans plus group-classify/decolor instant events into the miner
+  /// stream.  Must outlive the miner; null = no tracing.  Safe to share
+  /// across the engine's parallel zone walks (the stream's ring cursor is
+  /// atomic).
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// One mined disposable zone: the output pair (zone, depth) of Algorithm 1
@@ -59,7 +66,9 @@ class DisposableZoneMiner {
                                           const CacheHitRateTracker& chr) const;
 
   /// Runs Algorithm 1 rooted at one zone node (exposed for tests and the
-  /// parallel engine, which fans mine_zone over effective 2LDs).
+  /// parallel engine, which fans mine_zone over effective 2LDs).  When
+  /// tracing is enabled, each top-level call records one miner.zone span
+  /// labeled with the zone name.
   void mine_zone(DomainNameTree& tree, DomainNameTree::Node& zone,
                  const CacheHitRateTracker& chr,
                  std::vector<DisposableZoneFinding>& out) const;
@@ -75,6 +84,10 @@ class DisposableZoneMiner {
  private:
   const BinaryClassifier& model_;
   MinerConfig config_;
+  void mine_zone_walk(DomainNameTree& tree, DomainNameTree::Node& zone,
+                      const CacheHitRateTracker& chr,
+                      std::vector<DisposableZoneFinding>& out) const;
+
   // Metric handles resolved once at construction; all null when
   // config_.metrics is null.
   obs::Counter* zones_visited_ = nullptr;
@@ -82,6 +95,7 @@ class DisposableZoneMiner {
   obs::Counter* groups_decolored_ = nullptr;
   obs::Counter* names_decolored_ = nullptr;
   obs::Timer* features_timer_ = nullptr;
+  obs::TraceStream* trace_stream_ = nullptr;  // null when untraced
 };
 
 }  // namespace dnsnoise

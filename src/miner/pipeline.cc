@@ -2,6 +2,8 @@
 
 #include "obs/json_snapshot.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace dnsnoise {
 
@@ -28,11 +30,18 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
                            std::int64_t day_index) {
   ClusterConfig cluster_config = options.cluster;
   cluster_config.metrics = options.metrics;
+  cluster_config.trace = options.trace;
   RdnsCluster cluster(cluster_config, scenario.authority());
   scenario.traffic().set_metrics(options.metrics);
+  scenario.traffic().set_trace(options.trace);
   const obs::StageTimer simulate_span(
       options.metrics != nullptr ? &options.metrics->timer("cluster.simulate")
                                  : nullptr);
+  obs::TraceSpan simulate_trace(
+      options.trace != nullptr
+          ? &options.trace->stream(obs::TraceStage::kCluster, 0)
+          : nullptr,
+      options.trace, obs::TraceOp::kClusterSimulate);
   if (options.warmup) {
     // Warm the caches with a reduced-volume preceding day.  The warmup
     // scenario shares the zone population (same seed) but draws a distinct
@@ -62,6 +71,9 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   const auto stage_timer = [metrics](const char* name) {
     return metrics != nullptr ? &metrics->timer(name) : nullptr;
   };
+  obs::TraceCollector* const trace = options.trace;
+  obs::TraceStream* const trace_stream =
+      trace != nullptr ? &trace->stream(obs::TraceStage::kMiner, 0) : nullptr;
 
   MiningDayResult result;
   if (tap.tree().black_count() == 0) {
@@ -71,10 +83,14 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
     if (metrics != nullptr) {
       result.metrics_json = obs::to_json(metrics->snapshot());
     }
+    if (trace != nullptr) {
+      result.trace_json = obs::to_json(trace->snapshot());
+    }
     return result;
   }
   {
     const obs::StageTimer span(stage_timer("miner.label"));
+    const obs::TraceSpan tspan(trace_stream, trace, obs::TraceOp::kMinerLabel);
     result.labeled =
         label_zones(tap.tree(), tap.chr(), scenario, options.labeler);
   }
@@ -82,20 +98,25 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   const BinaryClassifier* model = options.pretrained;
   if (model == nullptr) {
     const obs::StageTimer span(stage_timer("miner.train"));
+    const obs::TraceSpan tspan(trace_stream, trace, obs::TraceOp::kMinerTrain);
     own_model.train(to_dataset(result.labeled));
     model = &own_model;
   }
 
   MinerConfig miner_config = options.miner;
   if (miner_config.metrics == nullptr) miner_config.metrics = metrics;
+  if (miner_config.trace == nullptr) miner_config.trace = trace;
   const DisposableZoneMiner miner(*model, miner_config);
   {
     const obs::StageTimer span(stage_timer("miner.mine"));
+    const obs::TraceSpan tspan(trace_stream, trace, obs::TraceOp::kMinerMine);
     result.findings = mine ? mine(miner, tap.tree(), tap.chr())
                            : miner.mine(tap.tree(), tap.chr());
   }
   {
     const obs::StageTimer span(stage_timer("miner.evaluate"));
+    const obs::TraceSpan tspan(trace_stream, trace,
+                               obs::TraceOp::kMinerEvaluate);
     result.evaluation = evaluate_findings(result.findings, scenario.truth());
   }
   if (metrics != nullptr) {
@@ -122,6 +143,9 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   // Snapshot last, so the mining-stage timers above are included.
   if (metrics != nullptr) {
     result.metrics_json = obs::to_json(metrics->snapshot());
+  }
+  if (trace != nullptr) {
+    result.trace_json = obs::to_json(trace->snapshot());
   }
   return result;
 }

@@ -19,6 +19,7 @@
 
 namespace dnsnoise::obs {
 class MetricsRegistry;
+class TraceCollector;
 }  // namespace dnsnoise::obs
 
 namespace dnsnoise {
@@ -44,6 +45,14 @@ struct PipelineOptions {
   /// MiningDayResult::metrics_json.  Must outlive the run.  Null (the
   /// default) disables all instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Opt-in event tracing (DESIGN.md §12): when set, every stage records
+  /// spans/instants into this collector — head-sampled workload/cluster
+  /// per-query spans plus the miner stage spans — and the final trace
+  /// snapshot lands in MiningDayResult::trace_json
+  /// (schema dnsnoise-trace-v1, obs/trace_export.h).  Must outlive the
+  /// run.  Null (the default) disables all tracing; enabled, mining
+  /// results are provably unchanged (TracePipeline.* tests).
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Per-date aggregates used by the growth figures (Fig. 13, Tables I/II).
@@ -80,6 +89,10 @@ struct MiningDayResult {
   /// Empty unless the run carried a PipelineOptions::metrics registry (or
   /// MiningSession::enable_metrics).
   std::string metrics_json;
+  /// Final trace export (schema dnsnoise-trace-v1, obs/trace_export.h);
+  /// loads in Perfetto / chrome://tracing.  Empty unless the run carried a
+  /// PipelineOptions::trace collector (or MiningSession::enable_tracing).
+  std::string trace_json;
 
   bool ok() const noexcept { return status == MiningDayStatus::kOk; }
 };

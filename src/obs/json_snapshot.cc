@@ -1,43 +1,10 @@
 #include "obs/json_snapshot.h"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <system_error>
+#include <vector>
 
 namespace dnsnoise::obs {
 
 namespace {
-
-std::string escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Appends `"key": ` at the given indent.
-void key(std::string& out, int indent, std::string_view name) {
-  out.append(static_cast<std::size_t>(indent), ' ');
-  out += '"';
-  out += escape(name);
-  out += "\": ";
-}
 
 template <typename Sample, typename Emit>
 void object_section(std::string& out, std::string_view section,
@@ -45,7 +12,7 @@ void object_section(std::string& out, std::string_view section,
                     bool& first_section) {
   if (!first_section) out += ",\n";
   first_section = false;
-  key(out, 2, section);
+  json_key(out, 2, section);
   if (samples.empty()) {
     out += "{}";
     return;
@@ -61,13 +28,6 @@ void object_section(std::string& out, std::string_view section,
 }
 
 }  // namespace
-
-std::string format_double(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
-  char buf[64];
-  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, result.ptr);
-}
 
 std::string to_json(const MetricsSnapshot& snapshot,
                     const std::map<std::string, std::string>& meta) {
@@ -87,16 +47,14 @@ std::string to_json(const MetricsSnapshot& snapshot,
   std::string out = "{\n  \"schema\": \"dnsnoise-metrics-v1\"";
   if (!meta.empty()) {
     out += ",\n";
-    key(out, 2, "meta");
+    json_key(out, 2, "meta");
     out += "{\n";
     bool first = true;
     for (const auto& [k, v] : meta) {
       if (!first) out += ",\n";
       first = false;
-      key(out, 4, k);
-      out += '"';
-      out += escape(v);
-      out += '"';
+      json_key(out, 4, k);
+      json_string(out, v);
     }
     out += "\n  }";
   }
@@ -104,15 +62,15 @@ std::string to_json(const MetricsSnapshot& snapshot,
 
   bool first_section = true;
   object_section(out, "counters", counters, [&out](const MetricSample& s) {
-    key(out, 4, s.name);
+    json_key(out, 4, s.name);
     out += std::to_string(s.count);
   }, first_section);
   object_section(out, "gauges", gauges, [&out](const MetricSample& s) {
-    key(out, 4, s.name);
+    json_key(out, 4, s.name);
     out += format_double(s.value);
   }, first_section);
   object_section(out, "timers", timers, [&out](const MetricSample& s) {
-    key(out, 4, s.name);
+    json_key(out, 4, s.name);
     out += "{\"count\": " + std::to_string(s.count) +
            ", \"total_seconds\": " + format_double(s.total_seconds) +
            ", \"min_seconds\": " + format_double(s.min_seconds) +
@@ -120,7 +78,7 @@ std::string to_json(const MetricsSnapshot& snapshot,
   }, first_section);
   object_section(out, "histograms", histograms,
                  [&out](const MetricSample& s) {
-    key(out, 4, s.name);
+    json_key(out, 4, s.name);
     out += "{\"count\": " + std::to_string(s.count) +
            ", \"zero_count\": " + std::to_string(s.zero_count) +
            ", \"bins\": [";
@@ -137,14 +95,6 @@ std::string to_json(const MetricsSnapshot& snapshot,
 
   out += "\n}\n";
   return out;
-}
-
-bool write_json_file(const std::string& path, const std::string& json) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return false;
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  const bool ok = std::fclose(file) == 0 && written == json.size();
-  return ok;
 }
 
 }  // namespace dnsnoise::obs

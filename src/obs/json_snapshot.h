@@ -24,6 +24,7 @@
 #include <map>
 #include <string>
 
+#include "obs/json_writer.h"  // format_double / write_json_file live here
 #include "obs/metrics.h"
 
 namespace dnsnoise::obs {
@@ -32,13 +33,5 @@ namespace dnsnoise::obs {
 /// above.
 std::string to_json(const MetricsSnapshot& snapshot,
                     const std::map<std::string, std::string>& meta = {});
-
-/// Writes `json` to `path` atomically enough for CI use (truncate +
-/// write + trailing newline already included).  Returns false on I/O error.
-bool write_json_file(const std::string& path, const std::string& json);
-
-/// Shortest round-trip decimal form of `v` ("1.5", "0.1", "1e+20"); the
-/// exporter's number format, exposed for tests.
-std::string format_double(double v);
 
 }  // namespace dnsnoise::obs

@@ -1,0 +1,59 @@
+#include "obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dnsnoise::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_key(std::string& out, int indent, std::string_view name) {
+  out.append(static_cast<std::size_t>(indent), ' ');
+  out += '"';
+  out += json_escape(name);
+  out += "\": ";
+}
+
+void json_string(std::string& out, std::string_view value) {
+  out += '"';
+  out += json_escape(value);
+  out += '"';
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace dnsnoise::obs

@@ -1,0 +1,35 @@
+// Shared low-level JSON emission helpers for the obs exporters.
+//
+// Both stable-output schemas — dnsnoise-metrics-v1 (obs/json_snapshot) and
+// dnsnoise-trace-v1 (obs/trace_export) — are built from the same three
+// primitives: string escaping, `"key": ` emission at a fixed indent, and
+// shortest-round-trip double formatting.  Keeping them here guarantees the
+// two exporters cannot drift apart on number format or escaping rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dnsnoise::obs {
+
+/// JSON string escaping: quotes, backslash, \n, \t, and \u00XX for other
+/// control bytes.  Returns the escaped body (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
+/// Appends `"key": ` at the given indent (spaces).
+void json_key(std::string& out, int indent, std::string_view name);
+
+/// Appends a quoted, escaped string value.
+void json_string(std::string& out, std::string_view value);
+
+/// Shortest round-trip decimal form of `v` ("1.5", "0.1", "1e+20"); the
+/// exporters' number format, exposed for tests.  Non-finite values (which
+/// JSON cannot represent) serialize as "0".
+std::string format_double(double v);
+
+/// Writes `json` to `path` atomically enough for CI use (truncate +
+/// write; callers include the trailing newline).  Returns false on I/O
+/// error.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace dnsnoise::obs

@@ -1,0 +1,217 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace dnsnoise::obs {
+
+namespace {
+
+/// Nanoseconds as microseconds with fixed 3 decimals ("12.345"): full
+/// resolution, byte-stable, and what Chrome's ts/dur expect.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+std::string_view outcome_name(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kNone: return "";
+    case TraceOutcome::kHit: return "hit";
+    case TraceOutcome::kMiss: return "miss";
+    case TraceOutcome::kNxDomain: return "nxdomain";
+  }
+  return "";
+}
+
+/// One metadata event naming a pid (process_name) or tid (thread_name).
+void append_meta_event(std::string& out, std::string_view meta_name, int pid,
+                       std::uint32_t tid, std::string_view value,
+                       bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"name\": \"";
+  out += meta_name;
+  out += "\", \"ph\": \"M\", \"pid\": " + std::to_string(pid) +
+         ", \"tid\": " + std::to_string(tid) + ", \"args\": {\"name\": ";
+  json_string(out, value);
+  out += "}}";
+}
+
+void append_event(std::string& out, const TraceSnapshotEvent& entry,
+                  bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  const TraceEvent& event = entry.event;
+  out += "    {\"name\": \"";
+  out += trace_op_name(event.op);
+  out += "\", \"cat\": \"";
+  out += trace_stage_name(entry.stage);
+  out += "\", \"ph\": \"";
+  out += event.instant ? "i" : "X";
+  out += '"';
+  if (event.instant) out += ", \"s\": \"t\"";  // thread-scoped instant
+  out += ", \"ts\": ";
+  append_us(out, event.ts_ns);
+  if (!event.instant) {
+    out += ", \"dur\": ";
+    append_us(out, event.dur_ns);
+  }
+  out += ", \"pid\": " + std::to_string(static_cast<int>(entry.stage)) +
+         ", \"tid\": " + std::to_string(entry.shard);
+  // args in fixed key order, unset keys omitted (stability contract).
+  std::string args;
+  if (event.label[0] != '\0') {
+    args += "\"label\": ";
+    json_string(args, event.label);
+  }
+  if (event.qtype != 0) {
+    if (!args.empty()) args += ", ";
+    args += "\"qtype\": " + std::to_string(event.qtype);
+  }
+  if (event.outcome != TraceOutcome::kNone) {
+    if (!args.empty()) args += ", ";
+    args += "\"outcome\": \"";
+    args += outcome_name(event.outcome);
+    args += '"';
+  }
+  if (event.id != kTraceNoId) {
+    if (!args.empty()) args += ", ";
+    args += "\"id\": " + std::to_string(event.id);
+  }
+  if (!args.empty()) out += ", \"args\": {" + args + "}";
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const TraceSnapshot& snapshot,
+                    const std::map<std::string, std::string>& meta) {
+  std::map<std::string, std::string> merged = meta;
+  merged["sample_every_n"] = std::to_string(snapshot.config.sample_every_n);
+  merged["ring_capacity"] = std::to_string(snapshot.config.ring_capacity);
+  merged["dropped_events"] = std::to_string(snapshot.dropped);
+
+  std::string out = "{\n  \"schema\": \"dnsnoise-trace-v1\",\n"
+                    "  \"displayTimeUnit\": \"ms\",\n";
+  json_key(out, 2, "meta");
+  out += "{\n";
+  bool first = true;
+  for (const auto& [k, v] : merged) {
+    if (!first) out += ",\n";
+    first = false;
+    json_key(out, 4, k);
+    json_string(out, v);
+  }
+  out += "\n  },\n";
+  json_key(out, 2, "traceEvents");
+  out += "[\n";
+
+  // Name every (stage, shard) lane first so viewers group lanes sensibly.
+  first = true;
+  std::set<int> pids_named;
+  for (const TraceSnapshotEvent& entry : snapshot.events) {
+    const int pid = static_cast<int>(entry.stage);
+    if (pids_named.insert(pid).second) {
+      append_meta_event(out, "process_name", pid, 0,
+                        trace_stage_name(entry.stage), first);
+    }
+  }
+  std::set<std::pair<int, std::uint32_t>> tids_named;
+  for (const TraceSnapshotEvent& entry : snapshot.events) {
+    const int pid = static_cast<int>(entry.stage);
+    if (tids_named.insert({pid, entry.shard}).second) {
+      append_meta_event(out, "thread_name", pid, entry.shard,
+                        "shard" + std::to_string(entry.shard), first);
+    }
+  }
+  for (const TraceSnapshotEvent& entry : snapshot.events) {
+    append_event(out, entry, first);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_text_summary(const TraceSnapshot& snapshot,
+                            std::size_t top_n) {
+  struct OpStats {
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  // Keyed (stage, op) so the report groups by pipeline stage.
+  std::map<std::pair<std::uint8_t, std::uint8_t>, OpStats> stats;
+  std::vector<const TraceSnapshotEvent*> spans;
+  for (const TraceSnapshotEvent& entry : snapshot.events) {
+    OpStats& s = stats[{static_cast<std::uint8_t>(entry.stage),
+                        static_cast<std::uint8_t>(entry.event.op)}];
+    if (entry.event.instant) {
+      ++s.instants;
+    } else {
+      ++s.spans;
+      s.total_ns += entry.event.dur_ns;
+      s.max_ns = std::max(s.max_ns, entry.event.dur_ns);
+      spans.push_back(&entry);
+    }
+  }
+
+  char line[160];
+  std::string out = "trace summary: " + std::to_string(snapshot.events.size()) +
+                    " events, sample_every_n=" +
+                    std::to_string(snapshot.config.sample_every_n) +
+                    ", dropped=" + std::to_string(snapshot.dropped) + "\n\n";
+  out += "per-stage wall breakdown:\n";
+  std::uint8_t last_stage = 0;
+  for (const auto& [key, s] : stats) {
+    if (key.first != last_stage) {
+      last_stage = key.first;
+      out += "  [";
+      out += trace_stage_name(static_cast<TraceStage>(key.first));
+      out += "]\n";
+    }
+    const std::string op{trace_op_name(static_cast<TraceOp>(key.second))};
+    if (s.spans > 0) {
+      std::snprintf(line, sizeof(line),
+                    "    %-24s %8" PRIu64 " spans  total %10.3f ms  avg "
+                    "%10.3f us  max %10.3f us\n",
+                    op.c_str(), s.spans,
+                    static_cast<double>(s.total_ns) / 1e6,
+                    static_cast<double>(s.total_ns) /
+                        static_cast<double>(s.spans) / 1e3,
+                    static_cast<double>(s.max_ns) / 1e3);
+    } else {
+      std::snprintf(line, sizeof(line), "    %-24s %8" PRIu64 " instants\n",
+                    op.c_str(), s.instants);
+    }
+    out += line;
+  }
+
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSnapshotEvent* a, const TraceSnapshotEvent* b) {
+              if (a->event.dur_ns != b->event.dur_ns) {
+                return a->event.dur_ns > b->event.dur_ns;
+              }
+              return a->event.ts_ns < b->event.ts_ns;
+            });
+  if (spans.size() > top_n) spans.resize(top_n);
+  out += "\ntop " + std::to_string(spans.size()) + " slowest spans:\n";
+  for (const TraceSnapshotEvent* entry : spans) {
+    const std::string op{trace_op_name(entry->event.op)};
+    std::snprintf(line, sizeof(line),
+                  "  %12.3f us  %-24s shard %-3u %s\n",
+                  static_cast<double>(entry->event.dur_ns) / 1e3, op.c_str(),
+                  entry->shard, entry->event.label);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dnsnoise::obs

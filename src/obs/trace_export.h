@@ -1,0 +1,54 @@
+// Stable JSON + text export of a TraceSnapshot.
+//
+// to_json emits schema dnsnoise-trace-v1, a Chrome-trace-event /
+// Perfetto-compatible document (load it in chrome://tracing or ui.perfetto.dev):
+//
+//   {
+//     "schema": "dnsnoise-trace-v1",
+//     "displayTimeUnit": "ms",
+//     "meta": {"sample_every_n": "64", ...},      // sorted string pairs
+//     "traceEvents": [
+//       {"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+//        "args": {"name": "cluster"}},            // one per stage/shard
+//       {"name": "cluster.query", "cat": "cluster", "ph": "X",
+//        "ts": 12.345, "dur": 1.002, "pid": 2, "tid": 0,
+//        "args": {"label": "x.ads.example", "qtype": 1,
+//                 "outcome": "miss"}},            // spans: ph "X"
+//       {"name": "miner.decolor", "cat": "miner", "ph": "i", "s": "t",
+//        "ts": 99.1, "pid": 4, "tid": 0, "args": {...}},  // instants
+//       ...
+//     ]
+//   }
+//
+// Mapping: pid = pipeline stage (workload=1, cluster=2, engine=3,
+// miner=4), tid = shard/server index, ts/dur are microseconds since the
+// collector epoch with nanosecond resolution (fixed 3 decimals).  args
+// keys appear in the fixed order label, qtype, outcome, id, each omitted
+// when unset — so serializing the same snapshot twice yields
+// byte-identical text (the metrics exporter's stability contract).
+//
+// to_text_summary renders the per-stage wall breakdown and top-N slowest
+// spans for terminal use; tools/dnsnoise-inspect reimplements the same
+// views (plus diff) over the JSON files.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace dnsnoise::obs {
+
+/// Serializes `snapshot` (plus optional "meta" string pairs, merged with
+/// the built-in sample_every_n/ring_capacity/dropped entries) to the
+/// schema above.
+std::string to_json(const TraceSnapshot& snapshot,
+                    const std::map<std::string, std::string>& meta = {});
+
+/// Compact text timeline summary: per-op span totals grouped by stage,
+/// then the `top_n` slowest spans.
+std::string to_text_summary(const TraceSnapshot& snapshot,
+                            std::size_t top_n = 10);
+
+}  // namespace dnsnoise::obs

@@ -34,6 +34,20 @@ RdnsCluster::RdnsCluster(const ClusterConfig& config,
     above_answers_metric_ = &metrics.counter("cluster.above_answers");
     tap_batch_size_ = &metrics.histogram("cluster.tap_batch_size", 1e6);
   }
+  if (config.trace != nullptr) {
+    trace_ = config.trace;
+    server_trace_.reserve(config.server_count);
+    for (std::size_t i = 0; i < config.server_count; ++i) {
+      const auto server =
+          static_cast<std::uint32_t>(config.metrics_server_base + i);
+      // Sampling phase derives from the cluster's per-shard seed, so the
+      // sampled query subset is fixed by (seed, server, query order) —
+      // identical whichever thread runs the shard.
+      server_trace_.push_back(
+          {&trace_->stream(obs::TraceStage::kCluster, server),
+           trace_->sampler(shard_seed(config.seed, server))});
+    }
+  }
 }
 
 RdnsCluster::~RdnsCluster() { flush_taps(); }
@@ -133,6 +147,12 @@ QueryView RdnsCluster::query_view(std::uint64_t client_id,
 
   ServerMetrics* const metrics =
       server_metrics_.empty() ? nullptr : &server_metrics_[view.server];
+  // Deterministic head sampling: the per-server counter advances on every
+  // query, so the traced subset is a pure function of the query order.
+  ServerTrace* const trace =
+      server_trace_.empty() ? nullptr : &server_trace_[view.server];
+  const bool traced = trace != nullptr && trace->sampler.sample();
+  const std::uint64_t trace_start = traced ? trace_->now_ns() : 0;
 
   if (const CachedAnswer* cached = cache.lookup(qname, question.type, now)) {
     view.rcode = cached->rcode;
@@ -187,6 +207,15 @@ QueryView RdnsCluster::query_view(std::uint64_t client_id,
   if (!observers_.empty()) {
     buffer_tap_event(now, TapDirection::kBelow, client_id, question,
                      view.rcode, view.answers);
+  }
+  if (traced) {
+    const obs::TraceOutcome outcome =
+        view.rcode == RCode::NXDomain ? obs::TraceOutcome::kNxDomain
+        : view.cache_hit              ? obs::TraceOutcome::kHit
+                                      : obs::TraceOutcome::kMiss;
+    trace->stream->span(obs::TraceOp::kClusterQuery, trace_start,
+                        trace_->now_ns() - trace_start, qname,
+                        static_cast<std::uint16_t>(question.type), outcome);
   }
   return view;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dns/message.h"
+#include "obs/trace.h"
 #include "resolver/authority.h"
 #include "resolver/dns_cache.h"
 #include "resolver/tap.h"
@@ -54,6 +55,13 @@ struct ClusterConfig {
   /// engine run is a 1-server cluster, but its metrics must land under
   /// cluster.server<k>, not cluster.server0.
   std::size_t metrics_server_base = 0;
+  /// Opt-in event tracing (DESIGN.md §12).  When set, each server records
+  /// head-sampled per-query spans (qname, qtype, hit/miss/NXDOMAIN) into
+  /// the collector's cluster stream for that server index.  Sampling is
+  /// deterministic per server, phase-seeded from `seed` — independent of
+  /// thread count and of the simulation RNG streams.  Must outlive the
+  /// cluster; null = no tracing, one predicted branch per query.
+  obs::TraceCollector* trace = nullptr;
 
   /// The configuration of one shard of this cluster: a single-server slice
   /// whose RNG stream is split off the cluster seed per shard index (never
@@ -224,6 +232,13 @@ class RdnsCluster {
     obs::Counter* nxdomain = nullptr;
   };
 
+  /// Per-server trace stream + deterministic query sampler, resolved once
+  /// at construction (stream acquisition is mutex-guarded too).
+  struct ServerTrace {
+    obs::TraceStream* stream = nullptr;
+    obs::TraceSampler sampler;
+  };
+
   const SyntheticAuthority& authority_;
   Balancing balancing_;
   std::size_t tap_batch_events_;
@@ -245,6 +260,8 @@ class RdnsCluster {
   std::uint64_t answered_misses_ = 0;
   std::uint64_t disposable_answered_misses_ = 0;
   std::vector<ServerMetrics> server_metrics_;  // empty when uninstrumented
+  std::vector<ServerTrace> server_trace_;      // empty when untraced
+  obs::TraceCollector* trace_ = nullptr;
   obs::Counter* below_answers_metric_ = nullptr;
   obs::Counter* above_answers_metric_ = nullptr;
   obs::Histogram* tap_batch_size_ = nullptr;

@@ -47,6 +47,20 @@ void TrafficGenerator::set_metrics(obs::MetricsRegistry* metrics) {
   days_generated_ = &metrics->counter("workload.days_generated");
 }
 
+void TrafficGenerator::set_trace(obs::TraceCollector* trace,
+                                 std::uint32_t shard) {
+  trace_ = trace;
+  if (trace == nullptr) {
+    trace_stream_ = nullptr;
+    return;
+  }
+  trace_stream_ = &trace->stream(obs::TraceStage::kWorkload, shard);
+  // Same phase-derivation as the cluster's sampler: a pure function of
+  // (seed, shard), so the sampled emission subset is thread-count
+  // invariant.
+  trace_sampler_ = trace->sampler(shard_seed(config_.seed, shard));
+}
+
 std::uint64_t TrafficGenerator::client_id_for_rank(
     std::size_t rank) const noexcept {
   // Stable opaque IDs; never 0 (0 marks "no client" in above-tap entries).
@@ -58,6 +72,9 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
     throw std::logic_error("TrafficGenerator: no models registered");
   }
   if (days_generated_ != nullptr) days_generated_->add();
+  obs::TraceSpan day_span(trace_stream_, trace_, obs::TraceOp::kWorkloadDay);
+  day_span.annotate({}, 0, obs::TraceOutcome::kNone,
+                    static_cast<std::uint64_t>(day));
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
   QuerySpec query;  // reused across every query of the day
@@ -78,7 +95,15 @@ void TrafficGenerator::run_day(std::int64_t day, const QuerySink& sink) {
                                spacing);
       const std::uint64_t client =
           client_id_for_rank(client_activity_.sample(rng_));
+      const bool traced =
+          trace_stream_ != nullptr && trace_sampler_.sample();
+      const std::uint64_t sample_start = traced ? trace_->now_ns() : 0;
       models_[pick_model()]->sample_query_into(query, rng_);
+      if (traced) {
+        trace_stream_->span(obs::TraceOp::kWorkloadSample, sample_start,
+                            trace_->now_ns() - sample_start, query.qname,
+                            static_cast<std::uint16_t>(query.qtype));
+      }
       if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }
@@ -94,6 +119,9 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
     throw std::invalid_argument("TrafficGenerator: bad shard spec");
   }
   if (days_generated_ != nullptr) days_generated_->add();
+  obs::TraceSpan day_span(trace_stream_, trace_, obs::TraceOp::kWorkloadDay);
+  day_span.annotate({}, 0, obs::TraceOutcome::kNone,
+                    static_cast<std::uint64_t>(day));
   const SimTime day_start = day * kSecondsPerDay;
   const double diurnal_total = config_.diurnal.total();
   QuerySpec query;  // reused across every query of the day
@@ -123,7 +151,17 @@ void TrafficGenerator::run_day_shard(std::int64_t day, const ShardSpec& shard,
         if (shard_slots_skipped_ != nullptr) shard_slots_skipped_->add();
         continue;
       }
+      // Sample after the shard filter: the sampler counts *emitted*
+      // queries, the same sequence every thread count replays.
+      const bool traced =
+          trace_stream_ != nullptr && trace_sampler_.sample();
+      const std::uint64_t sample_start = traced ? trace_->now_ns() : 0;
       models_[pick_model(q)]->sample_query_into(query, q);
+      if (traced) {
+        trace_stream_->span(obs::TraceOp::kWorkloadSample, sample_start,
+                            trace_->now_ns() - sample_start, query.qname,
+                            static_cast<std::uint16_t>(query.qtype));
+      }
       if (queries_generated_ != nullptr) queries_generated_->add();
       sink(std::min(ts, day_start + kSecondsPerDay - 1), client, query);
     }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 #include "workload/diurnal.h"
@@ -73,6 +74,15 @@ class TrafficGenerator {
   /// one branch + relaxed atomic per query; nothing when detached.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Opt-in event tracing (DESIGN.md §12): records one workload.day span
+  /// per generated (shard-)day plus head-sampled workload.sample spans
+  /// around query generation (label = qname) into the collector's
+  /// workload stream for `shard`.  Sampling is phase-seeded from the
+  /// generator seed and counts emitted queries, so the traced subset
+  /// mirrors the cluster's for the same shard.  `trace` must outlive the
+  /// generator; null detaches.
+  void set_trace(obs::TraceCollector* trace, std::uint32_t shard = 0);
+
  private:
   TrafficConfig config_;
   Rng rng_;
@@ -82,6 +92,9 @@ class TrafficGenerator {
   obs::Counter* queries_generated_ = nullptr;
   obs::Counter* shard_slots_skipped_ = nullptr;
   obs::Counter* days_generated_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
+  obs::TraceStream* trace_stream_ = nullptr;
+  obs::TraceSampler trace_sampler_;
 
   std::size_t pick_model();
   std::size_t pick_model(Rng& rng) const;

@@ -16,9 +16,13 @@ judged.
 Gauges present on only one side are reported but never fail the check:
 benchmarks come and go, and machine differences are judged only on the
 ratio of matched gauges.  A missing baseline file skips the check with
-exit 0 so fresh branches don't need one.
+exit 0 so fresh branches don't need one.  A missing or malformed
+*current* file is always an error (exit 2): that means the benchmark
+itself broke, and skipping would silently disable the gate.  Likewise a
+current snapshot with no gated gauges at all while the baseline has some
+exits 2 — an empty comparison must not read as a pass.
 
-Exit codes: 0 ok/skipped, 1 regression found, 2 malformed input.
+Exit codes: 0 ok/skipped, 1 regression found, 2 missing/malformed input.
 """
 
 import argparse
@@ -72,10 +76,11 @@ def main():
         current = load_gauges(args.current, "_per_sec")
         current_allocs = load_gauges(args.current, "allocs_per_query")
     except FileNotFoundError:
-        print(f"error: current snapshot {args.current} not found")
+        print(f"error: current snapshot {args.current} not found "
+              "(did the benchmark run fail before writing it?)")
         return 2
     except (ValueError, json.JSONDecodeError) as err:
-        print(f"error: {err}")
+        print(f"error: current snapshot is unusable: {err}")
         return 2
 
     try:
@@ -85,12 +90,18 @@ def main():
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
     except (ValueError, json.JSONDecodeError) as err:
-        print(f"error: {err}")
+        print(f"error: baseline snapshot is unusable: {err}")
         return 2
 
     if not baseline and not baseline_allocs:
         print(f"baseline {args.baseline} has no gated gauges; skipping")
         return 0
+    if not current and not current_allocs:
+        print(f"error: current snapshot {args.current} has no gated "
+              f"gauges while baseline {args.baseline} has "
+              f"{len(baseline) + len(baseline_allocs)}; the benchmark "
+              "output changed shape or was truncated")
+        return 2
 
     regressions = []
     for name in sorted(baseline):
@@ -105,7 +116,9 @@ def main():
         status = "ok"
         if change < -args.threshold:
             status = "REGRESSION"
-            regressions.append(name)
+            regressions.append(
+                f"{name} ({before:,.0f} -> {after:,.0f}, {change:+.1%}, "
+                f"limit -{args.threshold:.0%})")
         print(f"{status:>10}  {name}: {before:,.0f} -> {after:,.0f} "
               f"({change:+.1%})")
     # Lower-is-better gauges: an alloc crept back into a zero-alloc path.
@@ -118,7 +131,9 @@ def main():
         status = "ok"
         if after > limit:
             status = "REGRESSION"
-            regressions.append(name)
+            regressions.append(
+                f"{name} ({before:.3f} -> {after:.3f} allocs/query, "
+                f"limit {limit:.3f})")
         print(f"{status:>10}  {name}: {before:.3f} -> {after:.3f} "
               f"allocs/query (limit {limit:.3f})")
     for name in sorted((set(current) - set(baseline)) |
@@ -126,8 +141,9 @@ def main():
         print(f"note: {name} is new (no baseline; not gating)")
 
     if regressions:
-        print(f"\n{len(regressions)} gauge(s) regressed: "
-              f"{', '.join(regressions)}")
+        print(f"\n{len(regressions)} gauge(s) regressed:")
+        for detail in regressions:
+            print(f"  {detail}")
         return 1
     print("\nno regressions beyond thresholds "
           f"(throughput -{args.threshold:.0%}, "
