@@ -30,10 +30,9 @@ void DisposableZoneMiner::mine_zone(
   // through mine_zone_walk so subzones don't open nested spans.
   obs::TraceSpan zone_span(trace_stream_, config_.trace,
                            obs::TraceOp::kMinerZone);
-  std::string zone_name;
   if (trace_stream_ != nullptr) {
-    zone_name = DomainNameTree::full_name(zone);
-    zone_span.annotate(zone_name, 0, obs::TraceOutcome::kNone, zone.depth);
+    zone_span.annotate(DomainNameTree::full_name(zone), 0,
+                       obs::TraceOutcome::kNone, zone.depth);
   }
   mine_zone_walk(tree, zone, chr, out);
 }

@@ -114,9 +114,15 @@ struct TraceConfig {
 
 /// One single-purpose ring buffer of events.  record() is wait-free: one
 /// relaxed fetch_add to claim a slot, then an in-place write.  Concurrent
-/// writers are allowed (the classify fan-out shares the miner stream);
-/// reads (snapshot) must only happen after writers quiesced — the
-/// collector is frozen between pipeline phases, never mid-phase.
+/// writers are allowed (the classify fan-out shares the miner stream),
+/// with one constraint: two in-flight writers must never be a full ring
+/// lap (capacity events) apart, or they write the same physical slot
+/// concurrently (a torn event).  Shared-stream sites must therefore keep
+/// ring_capacity far above writer count; dropped() > 0 on a shared stream
+/// means the ring wrapped and that margin should be checked (the exporter
+/// surfaces it as dropped_events / a text-summary warning).  Reads
+/// (snapshot) must only happen after writers quiesced — the collector is
+/// frozen between pipeline phases, never mid-phase.
 class TraceStream {
  public:
   TraceStream(TraceStage stage, std::uint32_t shard, std::size_t capacity)
@@ -266,7 +272,9 @@ class TraceCollector {
 
 /// RAII span helper mirroring StageTimer: a null stream disables the span
 /// entirely (no clock read).  Annotations may be set any time before the
-/// span closes.
+/// span closes; the label is copied (truncated to TraceEvent capacity), so
+/// passing a transient string is safe even though the span records at
+/// scope exit.
 class TraceSpan {
  public:
   TraceSpan(TraceStream* stream, TraceCollector* collector,
@@ -283,7 +291,11 @@ class TraceSpan {
                 TraceOutcome outcome = TraceOutcome::kNone,
                 std::uint64_t id = kTraceNoId) noexcept {
     if (stream_ == nullptr) return;
-    label_ = label;
+    // Copied, not referenced: the span usually records at scope exit,
+    // after a caller-local label string has been destroyed.
+    label_len_ = label.size() < sizeof(label_) - 1 ? label.size()
+                                                   : sizeof(label_) - 1;
+    if (label_len_ != 0) std::memcpy(label_, label.data(), label_len_);
     qtype_ = qtype;
     outcome_ = outcome;
     id_ = id;
@@ -292,8 +304,9 @@ class TraceSpan {
   /// Records the span now instead of at scope exit.  Idempotent.
   void stop() noexcept {
     if (stream_ == nullptr) return;
-    stream_->span(op_, start_ns_, collector_->now_ns() - start_ns_, label_,
-                  qtype_, outcome_, id_);
+    stream_->span(op_, start_ns_, collector_->now_ns() - start_ns_,
+                  std::string_view(label_, label_len_), qtype_, outcome_,
+                  id_);
     stream_ = nullptr;
   }
 
@@ -302,7 +315,8 @@ class TraceSpan {
   TraceCollector* collector_;
   TraceOp op_;
   std::uint64_t start_ns_ = 0;
-  std::string_view label_{};
+  char label_[sizeof(TraceEvent::label)] = {};
+  std::size_t label_len_ = 0;
   std::uint16_t qtype_ = 0;
   TraceOutcome outcome_ = TraceOutcome::kNone;
   std::uint64_t id_ = kTraceNoId;

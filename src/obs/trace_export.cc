@@ -167,8 +167,13 @@ std::string to_text_summary(const TraceSnapshot& snapshot,
   std::string out = "trace summary: " + std::to_string(snapshot.events.size()) +
                     " events, sample_every_n=" +
                     std::to_string(snapshot.config.sample_every_n) +
-                    ", dropped=" + std::to_string(snapshot.dropped) + "\n\n";
-  out += "per-stage wall breakdown:\n";
+                    ", dropped=" + std::to_string(snapshot.dropped) + "\n";
+  if (snapshot.dropped > 0) {
+    out += "warning: ring buffer wrapped (" + std::to_string(snapshot.dropped) +
+           " events lost); raise ring_capacity or sample_every_n — shared "
+           "streams with concurrent writers must never wrap\n";
+  }
+  out += "\nper-stage wall breakdown:\n";
   std::uint8_t last_stage = 0;
   for (const auto& [key, s] : stats) {
     if (key.first != last_stage) {
@@ -178,6 +183,8 @@ std::string to_text_summary(const TraceSnapshot& snapshot,
       out += "]\n";
     }
     const std::string op{trace_op_name(static_cast<TraceOp>(key.second))};
+    // A bucket may hold spans, instants, or (in principle) both; print a
+    // line per kind so neither count is silently discarded.
     if (s.spans > 0) {
       std::snprintf(line, sizeof(line),
                     "    %-24s %8" PRIu64 " spans  total %10.3f ms  avg "
@@ -187,11 +194,13 @@ std::string to_text_summary(const TraceSnapshot& snapshot,
                     static_cast<double>(s.total_ns) /
                         static_cast<double>(s.spans) / 1e3,
                     static_cast<double>(s.max_ns) / 1e3);
-    } else {
+      out += line;
+    }
+    if (s.instants > 0) {
       std::snprintf(line, sizeof(line), "    %-24s %8" PRIu64 " instants\n",
                     op.c_str(), s.instants);
+      out += line;
     }
-    out += line;
   }
 
   std::sort(spans.begin(), spans.end(),

@@ -138,6 +138,27 @@ TEST(TraceSpan, RecordsOneSpanWithAnnotations) {
   EXPECT_FALSE(events[0].instant);
 }
 
+TEST(TraceSpan, LabelSurvivesTheAnnotationString) {
+  // annotate must copy: the span records at scope exit, typically after a
+  // caller-local label string has been destroyed (regression test for the
+  // miner.zone use-after-free).
+  TraceCollector collector;
+  TraceStream& stream = collector.stream(TraceStage::kMiner, 0);
+  {
+    TraceSpan span(&stream, &collector, TraceOp::kMinerZone);
+    {
+      // Long enough to defeat SSO so the old string_view would dangle
+      // into freed heap memory.
+      std::string transient(38, 'z');
+      span.annotate(transient, 0, TraceOutcome::kNone, 7);
+    }
+  }
+  const std::vector<TraceEvent> events = stream.drain_ordered();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string_view(events[0].label), std::string(38, 'z'));
+  EXPECT_EQ(events[0].id, 7u);
+}
+
 TEST(TraceNames, AllOpsAndStagesHaveNames) {
   for (int op = 0; op <= static_cast<int>(TraceOp::kMinerDecolor); ++op) {
     EXPECT_FALSE(trace_op_name(static_cast<TraceOp>(op)).empty()) << op;
