@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "engine/parallel_miner.h"
 #include "obs/json_writer.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace_export.h"
 
 using namespace dnsnoise;
@@ -25,18 +26,41 @@ int main(int argc, char** argv) {
   // --trace=FILE additionally records day 0 with sampled event tracing
   // (1 in 64) and writes the dnsnoise-trace-v1 JSON there; the throughput
   // loop below stays untraced, so the gated gauges are unaffected.
+  // --serve=PORT turns on the live telemetry endpoint (DESIGN.md §13) for
+  // the whole run and --days=N extends the day loop — together they are
+  // the multi-day continuous mode: scrape /metrics and /healthz on
+  // 127.0.0.1:PORT while the bench mines.
   std::string trace_path;
+  int days = 2;
+  unsigned long serve_port = 0;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_path = std::string(arg.substr(8));
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve = true;
+      serve_port = std::stoul(std::string(arg.substr(8)));
+      if (serve_port > 65535) {
+        std::fprintf(stderr, "--serve: port out of range\n");
+        return 2;
+      }
+    } else if (arg.rfind("--days=", 0) == 0) {
+      days = std::stoi(std::string(arg.substr(7)));
+      if (days < 1) {
+        std::fprintf(stderr, "--days: need at least one day\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--trace=FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace=FILE] [--serve=PORT] [--days=N]\n",
+                   argv[0]);
       return 2;
     }
   }
 
-  print_header("Fig. 2", "traffic above/below the RDNS cluster (2 days)");
+  print_header("Fig. 2", "traffic above/below the RDNS cluster (" +
+                             std::to_string(days) + " days)");
 
   // Fig. 2 preset: a volume study, not a unique-share study.  The paper's
   // 10x caching gap arises from ISP per-name query volumes (~330 queries
@@ -62,15 +86,31 @@ int main(int argc, char** argv) {
   std::uint64_t trough_hour_volume = ~0ULL;
 
   const std::int64_t base_day = scenario_day_index(ScenarioDate::kDec30);
-  for (int day = 0; day < 2; ++day) {
+  // One session for the whole campaign: with --serve its registry and
+  // telemetry server persist across days, so counters accumulate and a
+  // scraper sees the run continuously instead of per-day resets.
+  MiningSession session(options.scale);
+  session.cluster(options.cluster)
+      .warmup(true, options.warmup_volume_fraction)
+      .threads(4);
+  if (serve) {
+    session.enable_telemetry(true, static_cast<std::uint16_t>(serve_port));
+    if (!session.telemetry()->running()) {
+      std::fprintf(stderr, "telemetry: %s\n",
+                   session.telemetry()->error().c_str());
+      return 1;
+    }
+    std::printf("serving telemetry on http://127.0.0.1:%u/ "
+                "(/metrics /healthz /trace)\n",
+                static_cast<unsigned>(session.telemetry()->port()));
+    std::fflush(stdout);
+  }
+  for (int day = 0; day < days; ++day) {
     // Each day draws a fresh query stream; warmup pre-heats the caches so
-    // both days run at steady state.
+    // every day runs at steady state.
     ScenarioScale day_scale = options.scale;
     day_scale.traffic_stream = static_cast<std::uint64_t>(day);
-    MiningSession session(day_scale);
-    session.cluster(options.cluster)
-        .warmup(true, options.warmup_volume_fraction)
-        .threads(4);
+    session.scale(day_scale);
     const bool traced = day == 0 && !trace_path.empty();
     if (traced) session.enable_tracing(true, 64);
     const EngineReport report =
@@ -88,13 +128,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("wrote %s\n", trace_path.c_str());
+      session.enable_tracing(false);  // the remaining days run untraced
     }
 
     const HourlySeries& below = capture.below_series();
     const HourlySeries& above = capture.above_series();
     for (int hour = 0; hour < 24; ++hour) {
       const auto h = static_cast<std::size_t>(hour);
-      table.add_row({"12/" + std::to_string(30 + day),
+      table.add_row({"d" + std::to_string(day),
                      std::to_string(hour), with_commas(below.total[h]),
                      with_commas(below.nxdomain[h]),
                      with_commas(below.akamai[h]),

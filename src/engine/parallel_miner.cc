@@ -5,9 +5,12 @@
 #include <utility>
 
 #include "engine/thread_pool.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace dnsnoise {
 
@@ -64,6 +67,9 @@ MiningSession& MiningSession::capture_config(const DayCaptureConfig& config) {
 MiningSession& MiningSession::enable_metrics(bool enabled) {
   metrics_ = enabled ? std::make_shared<obs::MetricsRegistry>() : nullptr;
   options_.metrics = metrics_.get();
+  // A running telemetry server holds a reference to the old registry;
+  // rebind it (or stop it when metrics just went away).
+  if (telemetry_ != nullptr) restart_telemetry();
   return *this;
 }
 
@@ -82,10 +88,40 @@ MiningSession& MiningSession::enable_tracing(bool enabled,
 
 MiningSession& MiningSession::enable_progress(bool enabled,
                                               double interval_seconds) {
-  progress_ = enabled;
-  progress_interval_seconds_ = interval_seconds;
+  options_.progress = enabled;
+  options_.progress_interval_seconds = interval_seconds;
   if (enabled && metrics_ == nullptr) enable_metrics();
   return *this;
+}
+
+MiningSession& MiningSession::enable_telemetry(bool enabled,
+                                               std::uint16_t port,
+                                               double stall_seconds) {
+  if (!enabled) {
+    telemetry_ = nullptr;
+    return *this;
+  }
+  telemetry_ = nullptr;  // drop first so enable_metrics skips a restart
+  telemetry_port_ = port;
+  telemetry_stall_seconds_ = stall_seconds;
+  if (metrics_ == nullptr) enable_metrics();
+  restart_telemetry();
+  return *this;
+}
+
+void MiningSession::restart_telemetry() {
+  telemetry_ = nullptr;  // stop the old server before rebinding the port
+  if (metrics_ == nullptr) return;
+  obs::TelemetryConfig config;
+  config.port = telemetry_port_;
+  config.stall_seconds = telemetry_stall_seconds_;
+  telemetry_ = std::make_shared<obs::TelemetryServer>(*metrics_, config);
+  telemetry_->start();
+}
+
+void MiningSession::publish_trace_snapshot() {
+  if (telemetry_ == nullptr || trace_ == nullptr) return;
+  telemetry_->publish_trace(obs::to_json(trace_->snapshot()));
 }
 
 EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture) {
@@ -138,14 +174,19 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
   // The heartbeat only loads the pre-resolved handles it captures here;
   // shards keep hammering their relaxed atomics, no lock is shared.
   std::unique_ptr<obs::ProgressReporter> progress;
-  if (progress_ && metrics != nullptr) {
+  if (options_.progress && metrics != nullptr) {
     obs::ProgressConfig progress_config;
-    progress_config.interval_seconds = progress_interval_seconds_;
+    progress_config.interval_seconds = options_.progress_interval_seconds;
     progress_config.expected_queries = options_.scale.queries_per_day;
     progress_config.shard_count = shard_count;
     progress =
         std::make_unique<obs::ProgressReporter>(*metrics, progress_config);
   }
+  // All shards beat the one "engine" gauge (atomic store, last writer
+  // wins) — any progress keeps the stage fresh on /healthz.
+  obs::Gauge* const engine_heartbeat =
+      metrics != nullptr ? &obs::heartbeat_gauge(*metrics, "engine") : nullptr;
+  const obs::RunActiveScope run_active(metrics);
 
   std::atomic<std::uint64_t> queries{0};
   const auto run_shard = [&](std::size_t index) {
@@ -171,9 +212,12 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       const TrafficGenerator::ShardSpec spec{shard_count, index};
       std::uint64_t fed = 0;
       Question question;  // scratch reused across the shard's day
-      const auto feed = [&cluster, &fed, &question](SimTime ts,
-                                                    std::uint64_t client,
-                                                    const QuerySpec& query) {
+      obs::Heartbeat heartbeat(engine_heartbeat);
+      heartbeat.beat();
+      const auto feed = [&cluster, &fed, &question, &heartbeat](
+                            SimTime ts, std::uint64_t client,
+                            const QuerySpec& query) {
+        heartbeat.tick();
         if (!question.name.assign(query.qname)) return;
         question.type = query.qtype;
         cluster.query_view(client, question, ts);
@@ -244,6 +288,8 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
         trace, obs::TraceOp::kEngineMerge);
     report.counters = merge_shards(shards, capture, merge_error);
   }
+  // Shard workers joined above, so the trace snapshot contract holds.
+  publish_trace_snapshot();
   if (!merge_error.empty()) {
     report.status = MiningDayStatus::kInvalidConfig;
     report.error = merge_error;
@@ -258,6 +304,9 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
 }
 
 MiningDayResult MiningSession::run(ScenarioDate date) {
+  // Nested with simulate()'s scope (add/sub gauge), so /healthz sees the
+  // run as active through the mining stages too.
+  const obs::RunActiveScope run_active(metrics_.get());
   Scenario scenario(date, options_.scale);
   DayCapture capture(options_.capture);
   const EngineReport report =
@@ -274,7 +323,13 @@ MiningDayResult MiningSession::run(ScenarioDate date) {
     return mine_zones_parallel(miner, tree, chr, *options_.miner.psl,
                                threads_);
   };
-  return finish_mining_day(capture, scenario, options_, mine);
+  MiningDayResult result = finish_mining_day(capture, scenario, options_, mine);
+  // finish_mining_day already froze the trace into result.trace_json;
+  // serve that exact document on /trace.
+  if (telemetry_ != nullptr && !result.trace_json.empty()) {
+    telemetry_->publish_trace(result.trace_json);
+  }
+  return result;
 }
 
 std::vector<DisposableZoneFinding> mine_zones_parallel(

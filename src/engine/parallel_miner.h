@@ -35,6 +35,7 @@
 
 namespace dnsnoise::obs {
 class MetricsRegistry;
+class TelemetryServer;
 class TraceCollector;
 }  // namespace dnsnoise::obs
 
@@ -92,6 +93,18 @@ class MiningSession {
   /// auto-enables metrics if they are off.
   MiningSession& enable_progress(bool enabled = true,
                                  double interval_seconds = 1.0);
+  /// Opt-in live telemetry endpoint (DESIGN.md §13): starts a
+  /// session-lifetime HTTP server on 127.0.0.1:<port> (0 picks an
+  /// ephemeral port, see telemetry()->port()) serving GET /metrics
+  /// (OpenMetrics exposition of the live registry), /healthz (per-stage
+  /// heartbeat health, 503 on stall while a run is active), and /trace
+  /// (the latest frozen trace snapshot, published after each
+  /// simulate()/run()).  Auto-enables metrics.  Scrapes snapshot on the
+  /// serve thread only; findings are bit-identical with telemetry on or
+  /// off (TelemetryServer.* tests).  Port 0 with `enabled=false` stops
+  /// and drops the server.
+  MiningSession& enable_telemetry(bool enabled = true, std::uint16_t port = 0,
+                                  double stall_seconds = 30.0);
 
   const PipelineOptions& options() const noexcept { return options_; }
   std::size_t thread_count() const noexcept { return threads_; }
@@ -102,6 +115,10 @@ class MiningSession {
   /// called.  Valid until the session is destroyed or tracing is
   /// re-/dis-abled.
   obs::TraceCollector* trace() const noexcept { return trace_.get(); }
+  /// The session's live telemetry server — null unless enable_telemetry()
+  /// was called.  Valid until the session is destroyed or telemetry is
+  /// re-/dis-abled.
+  obs::TelemetryServer* telemetry() const noexcept { return telemetry_.get(); }
 
   /// Simulates one sharded day into `capture` (start_day(day_index)-reset
   /// here, the engine's single reset point — mirrors simulate_day), without
@@ -116,12 +133,23 @@ class MiningSession {
   MiningDayResult run(ScenarioDate date);
 
  private:
+  /// Rebuilds (or stops) the telemetry server against the current
+  /// registry; called by enable_telemetry and by enable_metrics when a
+  /// server is already running.
+  void restart_telemetry();
+  /// Publishes the frozen trace snapshot to the telemetry server (no-op
+  /// when either side is off).  Callers must have quiesced all trace
+  /// writers first — shard workers joined — per the TraceCollector
+  /// snapshot contract.
+  void publish_trace_snapshot();
+
   PipelineOptions options_;
   std::size_t threads_ = 1;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::TraceCollector> trace_;
-  bool progress_ = false;
-  double progress_interval_seconds_ = 1.0;
+  std::shared_ptr<obs::TelemetryServer> telemetry_;
+  std::uint16_t telemetry_port_ = 0;
+  double telemetry_stall_seconds_ = 30.0;
 };
 
 /// Parallel drop-in for DisposableZoneMiner::mine: fans mine_zone over the

@@ -1,7 +1,10 @@
 #include "miner/pipeline.h"
 
+#include "obs/heartbeat.h"
 #include "obs/json_snapshot.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -9,12 +12,15 @@ namespace dnsnoise {
 
 namespace {
 
-/// Feeds one generated day into the cluster.
+/// Feeds one generated day into the cluster.  `heartbeat` (null-gated)
+/// keeps the cluster stage alive on /healthz during the day.
 void drive_day(TrafficGenerator& traffic, RdnsCluster& cluster,
-               std::int64_t day) {
+               std::int64_t day, obs::Heartbeat* heartbeat = nullptr) {
   Question question;  // scratch reused across the day (zero-alloc re-parse)
-  traffic.run_day(day, [&cluster, &question](SimTime ts, std::uint64_t client,
-                                             const QuerySpec& query) {
+  traffic.run_day(day, [&cluster, &question, heartbeat](
+                           SimTime ts, std::uint64_t client,
+                           const QuerySpec& query) {
+    if (heartbeat != nullptr) heartbeat->tick();
     if (!question.name.assign(query.qname)) {
       return;  // generators only emit valid names; belt and braces
     }
@@ -34,6 +40,8 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
   RdnsCluster cluster(cluster_config, scenario.authority());
   scenario.traffic().set_metrics(options.metrics);
   scenario.traffic().set_trace(options.trace);
+  obs::Heartbeat heartbeat(options.metrics, "cluster");
+  heartbeat.beat();
   const obs::StageTimer simulate_span(
       options.metrics != nullptr ? &options.metrics->timer("cluster.simulate")
                                  : nullptr);
@@ -52,11 +60,11 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
         options.warmup_volume_fraction);
     warm_scale.traffic_stream ^= 0xbeefcafeULL;
     Scenario warm(scenario.date(), warm_scale);
-    drive_day(warm.traffic(), cluster, day_index - 1);
+    drive_day(warm.traffic(), cluster, day_index - 1, &heartbeat);
   }
   capture.start_day(day_index);
   capture.attach(cluster);
-  drive_day(scenario.traffic(), cluster, day_index);
+  drive_day(scenario.traffic(), cluster, day_index, &heartbeat);
   // Flush pending tap batches and detach: the capture may outlive this
   // cluster.
   cluster.flush_taps();
@@ -74,6 +82,8 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   obs::TraceCollector* const trace = options.trace;
   obs::TraceStream* const trace_stream =
       trace != nullptr ? &trace->stream(obs::TraceStage::kMiner, 0) : nullptr;
+  obs::Heartbeat heartbeat(metrics, "miner");
+  heartbeat.beat();
 
   MiningDayResult result;
   if (tap.tree().black_count() == 0) {
@@ -107,6 +117,7 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
   if (miner_config.metrics == nullptr) miner_config.metrics = metrics;
   if (miner_config.trace == nullptr) miner_config.trace = trace;
   const DisposableZoneMiner miner(*model, miner_config);
+  heartbeat.beat();
   {
     const obs::StageTimer span(stage_timer("miner.mine"));
     const obs::TraceSpan tspan(trace_stream, trace, obs::TraceOp::kMinerMine);
@@ -123,6 +134,7 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
     metrics->counter("miner.findings").add(result.findings.size());
   }
 
+  heartbeat.beat();
   const FindingIndex index(result.findings);
   DayAggregates& agg = result.aggregates;
   agg.unique_queried = tap.unique_queried();
@@ -153,11 +165,37 @@ MiningDayResult finish_mining_day(DayCapture& tap, const Scenario& scenario,
 MiningDayResult run_mining_day(ScenarioDate date,
                                const PipelineOptions& options,
                                DayCapture* capture) {
+  // Run-scoped observability surfaces.  Declaration order matters on the
+  // way out: the run-active gauge drops first (so /healthz reads "idle"),
+  // then the progress reporter flushes its final line, then the telemetry
+  // server serves until destruction.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (options.telemetry_port != 0 && options.metrics != nullptr) {
+    obs::TelemetryConfig config;
+    config.port = options.telemetry_port;
+    config.stall_seconds = options.telemetry_stall_seconds;
+    telemetry =
+        std::make_unique<obs::TelemetryServer>(*options.metrics, config);
+    telemetry->start();
+  }
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (options.progress && options.metrics != nullptr) {
+    obs::ProgressConfig progress_config;
+    progress_config.interval_seconds = options.progress_interval_seconds;
+    progress = std::make_unique<obs::ProgressReporter>(*options.metrics,
+                                                       progress_config);
+  }
+  const obs::RunActiveScope run_active(options.metrics);
+
   Scenario scenario(date, options.scale);
   DayCapture local_capture(options.capture);
   DayCapture& tap = capture != nullptr ? *capture : local_capture;
   simulate_day(scenario, tap, options, scenario_day_index(date));
-  return finish_mining_day(tap, scenario, options);
+  MiningDayResult result = finish_mining_day(tap, scenario, options);
+  if (telemetry != nullptr && !result.trace_json.empty()) {
+    telemetry->publish_trace(result.trace_json);
+  }
+  return result;
 }
 
 }  // namespace dnsnoise

@@ -53,6 +53,21 @@ struct PipelineOptions {
   /// run.  Null (the default) disables all tracing; enabled, mining
   /// results are provably unchanged (TracePipeline.* tests).
   obs::TraceCollector* trace = nullptr;
+  /// Opt-in live telemetry endpoint (DESIGN.md §13): when non-zero and
+  /// `metrics` is set, run_mining_day serves GET /metrics (OpenMetrics),
+  /// /healthz, and /trace on 127.0.0.1:<port> for the duration of the
+  /// run.  MiningSession::enable_telemetry owns a session-lifetime server
+  /// instead, surviving across days.  Scrapes snapshot on the serve
+  /// thread; findings are bit-identical with the endpoint on or off.
+  std::uint16_t telemetry_port = 0;
+  /// /healthz flags a stage as stalled once its heartbeat gauge is older
+  /// than this while a run is active.
+  double telemetry_stall_seconds = 30.0;
+  /// Opt-in stderr progress heartbeat (one background reader thread, no
+  /// hot-path locks); requires `metrics`.  MiningSession::enable_progress
+  /// sets both fields.
+  bool progress = false;
+  double progress_interval_seconds = 1.0;
 };
 
 /// Per-date aggregates used by the growth figures (Fig. 13, Tables I/II).

@@ -1,0 +1,168 @@
+#include "net/http_listener.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dnsnoise::net {
+
+namespace {
+
+// A request head larger than this is rejected outright; telemetry scrapes
+// are one short GET line plus a few headers.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// Blocking read until the end-of-head marker, the size cap, a timeout,
+/// or EOF.  Returns false when no complete head arrived.
+bool read_request_head(int fd, std::string& head) {
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;  // timeout, reset, or EOF before the head
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Splits "GET /metrics HTTP/1.1" into method and target.  Returns false
+/// on a malformed request line.
+bool parse_request_line(std::string_view head, HttpRequest& request) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  std::string_view line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return !request.method.empty() && !request.target.empty() &&
+         request.target[0] == '/';
+}
+
+}  // namespace
+
+std::string_view http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpListener::~HttpListener() { stop(); }
+
+bool HttpListener::start(std::uint16_t port, HttpHandler handler) {
+  if (running()) {
+    error_ = "listener already running";
+    return false;
+  }
+  error_.clear();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  handler_ = std::move(handler);
+  fd_ = fd;
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpListener::stop() {
+  if (fd_ < 0) return;
+  // shutdown() unblocks the accept(2) the thread is parked in; the loop
+  // then sees the error and exits.
+  ::shutdown(fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+void HttpListener::accept_loop() {
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (or unrecoverable): exit the thread
+    }
+    // Short receive timeout so one stalled client cannot wedge the
+    // telemetry endpoint for the lifetime of the run.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    serve_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpListener::serve_connection(int client_fd) {
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!read_request_head(client_fd, head) ||
+      !parse_request_line(head, request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    response = handler_(request);
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(http_status_reason(response.status)) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " +
+                    std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (request.method != "HEAD") out += response.body;
+  write_all(client_fd, out);
+}
+
+}  // namespace dnsnoise::net

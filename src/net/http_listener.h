@@ -1,0 +1,75 @@
+// Minimal embedded HTTP/1.1 listener for the telemetry endpoint.
+//
+// One blocking accept thread serves requests serially on 127.0.0.1 — the
+// scrape side of obs/telemetry_server (DESIGN.md §13).  Deliberately tiny:
+// no third-party deps, no TLS, no keep-alive, GET-oriented.  Each
+// connection reads one request head (bounded size, short receive timeout),
+// dispatches to the registered handler, writes the response with
+// Content-Length, and closes.  The handler runs on the accept thread, so
+// it must not block indefinitely; snapshotting a MetricsRegistry (the
+// intended workload) is bounded and lock-cheap.
+//
+// Thread-safety: start()/stop() are for the owning thread; the handler
+// must itself be safe to call from the accept thread while the rest of
+// the process runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dnsnoise::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string target;  // request path including query, e.g. "/metrics"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the listener emits
+/// ("OK", "Not Found", ...); "Unknown" otherwise.
+std::string_view http_status_reason(int status) noexcept;
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpListener {
+ public:
+  HttpListener() = default;
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// spawns the accept thread.  Returns false — with the reason in
+  /// error() — on bind/listen failure; the listener is then inert and
+  /// start() may be retried.
+  bool start(std::uint16_t port, HttpHandler handler);
+
+  /// Stops accepting, joins the accept thread, closes the socket.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const noexcept { return fd_ >= 0; }
+  /// The bound port (resolved after start(); 0 when not running).
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int client_fd);
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  HttpHandler handler_;
+  std::thread thread_;
+};
+
+}  // namespace dnsnoise::net

@@ -1,0 +1,22 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+
+namespace dnsnoise::obs {
+
+double heartbeat_clock_seconds() noexcept {
+  // One epoch for the whole process: ages computed by the health renderer
+  // stay comparable across registries and sessions.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+Gauge& heartbeat_gauge(MetricsRegistry& registry, std::string_view stage) {
+  return registry.gauge(std::string(kHeartbeatGaugePrefix) +
+                        std::string(stage));
+}
+
+}  // namespace dnsnoise::obs

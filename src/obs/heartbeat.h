@@ -1,0 +1,94 @@
+// Per-stage liveness heartbeats for the telemetry health endpoint.
+//
+// A stage that wants /healthz coverage registers the gauge
+// "obs.heartbeat.<stage>" and stores heartbeat_clock_seconds() into it
+// while it makes progress; obs/telemetry_server derives per-stage ages
+// from those gauges on the scrape thread.  The pattern matches every
+// other obs hook: a null gauge disables the site entirely (one predicted
+// branch, no clock read), and beating is a single relaxed atomic store —
+// no locks anywhere near the hot path.  Inner loops use tick(), which
+// reads the clock only once per `every_n` calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace dnsnoise::obs {
+
+/// Gauge-name prefix the health renderer scans for; the suffix is the
+/// stage name ("engine", "cluster", "miner", ...).
+inline constexpr std::string_view kHeartbeatGaugePrefix = "obs.heartbeat.";
+
+/// Gauge flagging an in-flight run (1 while a day simulates/mines, 0
+/// when idle); /healthz only enforces heartbeat freshness while it is 1.
+inline constexpr std::string_view kRunActiveGauge = "obs.run_active";
+
+/// Monotonic seconds on a process-wide epoch — the one clock heartbeat
+/// writers and the health renderer share.
+double heartbeat_clock_seconds() noexcept;
+
+/// Registers (or finds) the heartbeat gauge of `stage` in `registry`.
+Gauge& heartbeat_gauge(MetricsRegistry& registry, std::string_view stage);
+
+/// Null-gated beat handle; resolve once, then beat()/tick() freely.
+class Heartbeat {
+ public:
+  Heartbeat() = default;
+  /// `every_n` must be a power of two (tick's cheap modulo).
+  explicit Heartbeat(Gauge* gauge, std::uint64_t every_n = 8192) noexcept
+      : gauge_(gauge), mask_(every_n - 1) {}
+
+  /// Registers the stage gauge when metrics are on; inert when
+  /// `registry` is null.
+  Heartbeat(MetricsRegistry* registry, std::string_view stage,
+            std::uint64_t every_n = 8192)
+      : Heartbeat(registry != nullptr ? &heartbeat_gauge(*registry, stage)
+                                      : nullptr,
+                  every_n) {}
+
+  bool enabled() const noexcept { return gauge_ != nullptr; }
+
+  /// Stamps the gauge with the heartbeat clock now.
+  void beat() noexcept {
+    if (gauge_ != nullptr) gauge_->set(heartbeat_clock_seconds());
+  }
+
+  /// Per-event hook for hot loops: beats every `every_n`-th call
+  /// (including the first, so a stage reads live immediately).
+  void tick() noexcept {
+    if (gauge_ != nullptr && (ticks_++ & mask_) == 0) beat();
+  }
+
+ private:
+  Gauge* gauge_ = nullptr;
+  std::uint64_t mask_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+/// RAII raise/lower of the run-active gauge around a mining run; null
+/// registry disables it.  Increment/decrement (not set) so nested scopes
+/// — run() wrapping simulate() — keep the gauge non-zero until the
+/// outermost one exits.
+class RunActiveScope {
+ public:
+  explicit RunActiveScope(MetricsRegistry* registry)
+      : gauge_(registry != nullptr
+                   ? &registry->gauge(std::string(kRunActiveGauge))
+                   : nullptr) {
+    if (gauge_ != nullptr) gauge_->add(1.0);
+  }
+  ~RunActiveScope() {
+    if (gauge_ != nullptr) gauge_->add(-1.0);
+  }
+
+  RunActiveScope(const RunActiveScope&) = delete;
+  RunActiveScope& operator=(const RunActiveScope&) = delete;
+
+ private:
+  Gauge* gauge_;
+};
+
+}  // namespace dnsnoise::obs

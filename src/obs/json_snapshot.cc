@@ -78,9 +78,14 @@ std::string to_json(const MetricsSnapshot& snapshot,
   }, first_section);
   object_section(out, "histograms", histograms,
                  [&out](const MetricSample& s) {
+    const HistogramPercentiles tails = estimate_percentiles(s);
     json_key(out, 4, s.name);
     out += "{\"count\": " + std::to_string(s.count) +
            ", \"zero_count\": " + std::to_string(s.zero_count) +
+           ", \"p50\": " + format_double(tails.p50) +
+           ", \"p90\": " + format_double(tails.p90) +
+           ", \"p99\": " + format_double(tails.p99) +
+           ", \"p999\": " + format_double(tails.p999) +
            ", \"bins\": [";
     bool first = true;
     for (const SnapshotBin& bin : s.bins) {

@@ -12,8 +12,14 @@
 //     "timers":     {"name": {"count": N, "total_seconds": s,
 //                             "min_seconds": s, "max_seconds": s}, ...},
 //     "histograms": {"name": {"count": N, "zero_count": Z,
+//                             "p50": x, "p90": x, "p99": x, "p999": x,
 //                             "bins": [{"lo": x, "hi": y, "count": n}]}, ...}
 //   }
+//
+// Histogram percentiles are estimated from the log-scale bucket counts
+// (obs::estimate_percentiles): geometric interpolation within the
+// covering bin, so per-stage latency tails are first-class in every
+// exported snapshot.
 //
 // Stability contract: keys are name-sorted, layout is fixed (2-space
 // indent, one key per line), and doubles use the shortest round-trip

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace dnsnoise::obs {
 
@@ -42,7 +43,14 @@ void json_string(std::string& out, std::string_view value) {
 }
 
 std::string format_double(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  // JSON has no inf/nan: absent-by-definition values serialize as null,
+  // overflowed rates clamp to the largest finite double (keeping their
+  // sign and "huge" ordering for the bench regression gates).
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) {
+    v = v > 0 ? std::numeric_limits<double>::max()
+              : std::numeric_limits<double>::lowest();
+  }
   char buf[64];
   const auto result = std::to_chars(buf, buf + sizeof(buf), v);
   return std::string(buf, result.ptr);

@@ -23,8 +23,11 @@ void json_key(std::string& out, int indent, std::string_view name);
 void json_string(std::string& out, std::string_view value);
 
 /// Shortest round-trip decimal form of `v` ("1.5", "0.1", "1e+20"); the
-/// exporters' number format, exposed for tests.  Non-finite values (which
-/// JSON cannot represent) serialize as "0".
+/// exporters' number format, exposed for tests.  JSON cannot represent
+/// non-finite values, and degenerate timings can produce them (a
+/// `*_per_sec` gauge over a zero-length interval): NaN serializes as
+/// "null" (explicitly absent) and ±Inf clamps to ±DBL_MAX so magnitude
+/// ordering survives for the regression gates.
 std::string format_double(double v);
 
 /// Writes `json` to `path` atomically enough for CI use (truncate +

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace dnsnoise::obs {
@@ -31,6 +32,50 @@ void Timer::record_ns(std::uint64_t ns) noexcept {
 std::uint64_t Timer::min_ns() const noexcept {
   const std::uint64_t min = min_ns_.load(std::memory_order_relaxed);
   return min == ~0ULL ? 0 : min;
+}
+
+double estimate_quantile(const MetricSample& histogram, double q) noexcept {
+  if (histogram.count == 0 || !(q > 0.0) || !(q < 1.0)) return 0.0;
+  // Target rank in (0, count]; ceil so q = 0.5 of a 2-sample histogram
+  // lands on the first sample, matching the usual nearest-rank rule.
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(histogram.count)));
+  double cumulative = static_cast<double>(histogram.zero_count);
+  if (target <= cumulative) return 0.0;  // rank inside the underflow bin
+  for (const SnapshotBin& bin : histogram.bins) {
+    const double next = cumulative + static_cast<double>(bin.count);
+    if (target <= next) {
+      // Geometric interpolation within the covering log-scale bin.
+      const double frac =
+          (target - cumulative) / static_cast<double>(bin.count);
+      if (!(bin.lo > 0.0) || !(bin.hi > bin.lo)) return bin.hi;
+      return bin.lo * std::pow(bin.hi / bin.lo, frac);
+    }
+    cumulative = next;
+  }
+  // Rank beyond the recorded bins (inconsistent sample); report the top.
+  return histogram.bins.empty() ? 0.0 : histogram.bins.back().hi;
+}
+
+HistogramPercentiles estimate_percentiles(
+    const MetricSample& histogram) noexcept {
+  HistogramPercentiles out;
+  out.p50 = estimate_quantile(histogram, 0.50);
+  out.p90 = estimate_quantile(histogram, 0.90);
+  out.p99 = estimate_quantile(histogram, 0.99);
+  out.p999 = estimate_quantile(histogram, 0.999);
+  return out;
+}
+
+double estimate_sum(const MetricSample& histogram) noexcept {
+  double sum = 0.0;
+  for (const SnapshotBin& bin : histogram.bins) {
+    const double center = bin.lo > 0.0 && bin.hi > bin.lo
+                              ? std::sqrt(bin.lo * bin.hi)
+                              : bin.hi;
+    sum += center * static_cast<double>(bin.count);
+  }
+  return sum;
 }
 
 const MetricSample* MetricsSnapshot::find(

@@ -190,6 +190,34 @@ struct MetricsSnapshot {
   const MetricSample* find(std::string_view name) const noexcept;
 };
 
+/// Latency-tail estimates derived from a frozen histogram sample's
+/// log-scale buckets (obs/json_snapshot and obs/openmetrics both expose
+/// them).  Bucket counts only bound each quantile to a bin; within the
+/// bin the estimate interpolates geometrically (the bins are log-spaced),
+/// so the error is bounded by the bin ratio (~78% worst case at the
+/// default 4 bins/decade), which is plenty for tail monitoring.
+struct HistogramPercentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// The estimated `q`-quantile (0 < q < 1) of a kHistogram sample: walks
+/// the underflow bin then the ascending buckets to the target rank and
+/// interpolates within the covering bin.  Returns 0 for an empty
+/// histogram or a rank landing in the underflow bin (values < 1).
+double estimate_quantile(const MetricSample& histogram, double q) noexcept;
+
+/// p50/p90/p99/p999 of a kHistogram sample via estimate_quantile.
+HistogramPercentiles estimate_percentiles(
+    const MetricSample& histogram) noexcept;
+
+/// The estimated sum of all recorded values of a kHistogram sample
+/// (geometric bin centers weighted by count; the underflow bin
+/// contributes 0).  The OpenMetrics `_sum` series uses this.
+double estimate_sum(const MetricSample& histogram) noexcept;
+
 /// Owner of all metrics of one pipeline run.  Thread-safe throughout:
 /// registration locks, recording does not (see class comments above).
 /// Returned references stay valid for the registry's lifetime.

@@ -13,7 +13,8 @@ ProgressReporter::ProgressReporter(MetricsRegistry& registry,
     : config_(config),
       answered_(&registry.counter("cluster.below_answers")),
       shards_done_(&registry.timer("engine.shard")),
-      out_(config.out != nullptr ? config.out : stderr) {
+      out_(config.out != nullptr ? config.out : stderr),
+      start_(std::chrono::steady_clock::now()) {
   if (config_.interval_seconds <= 0.0) config_.interval_seconds = 1.0;
   thread_ = std::thread([this] { run(); });
 }
@@ -25,28 +26,31 @@ void ProgressReporter::stop() {
     std::lock_guard lock(mutex_);
     if (stopped_) return;
     stopping_ = true;
+    stopped_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard lock(mutex_);
-  stopped_ = true;
+  // The final summary belongs to stop(), not the heartbeat thread: after
+  // the join it always runs, exactly once, so session completion flushes
+  // a newline-terminated line even when the finish coincides with (or
+  // outraces) the last heartbeat tick.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  print_line(elapsed, /*final_line=*/true);
 }
 
 void ProgressReporter::run() {
-  const auto start = std::chrono::steady_clock::now();
   const auto interval = std::chrono::duration<double>(config_.interval_seconds);
   std::unique_lock lock(mutex_);
   while (!stopping_) {
     if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
     const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
             .count();
     print_line(elapsed, /*final_line=*/false);
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  print_line(elapsed, /*final_line=*/true);
 }
 
 void ProgressReporter::print_line(double seconds_since_start,
@@ -54,15 +58,22 @@ void ProgressReporter::print_line(double seconds_since_start,
   const std::uint64_t answered = answered_->value();
   const double tick_seconds =
       std::max(seconds_since_start - last_tick_seconds_, 1e-9);
+  // Heartbeats show the instantaneous rate; the final summary reports the
+  // cumulative average over the whole run.
   const double rate =
-      static_cast<double>(answered - last_answered_) / tick_seconds;
+      final_line
+          ? static_cast<double>(answered) /
+                std::max(seconds_since_start, 1e-9)
+          : static_cast<double>(answered - last_answered_) / tick_seconds;
   last_answered_ = answered;
   last_tick_seconds_ = seconds_since_start;
 
   std::string line = "[dnsnoise] ";
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64 " queries (%.0f/s)", answered,
-                rate);
+  std::snprintf(buf, sizeof(buf),
+                final_line ? "done: %" PRIu64 " queries (avg %.0f/s)"
+                           : "%" PRIu64 " queries (%.0f/s)",
+                answered, rate);
   line += buf;
   if (config_.shard_count > 0) {
     const std::uint64_t done = std::min<std::uint64_t>(

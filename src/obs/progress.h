@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -28,7 +29,9 @@ class MetricsRegistry;
 class Timer;
 
 struct ProgressConfig {
-  /// Seconds between heartbeat lines.
+  /// Seconds between heartbeat lines (non-positive values fall back to
+  /// 1.0; configurable through MiningSession::enable_progress and
+  /// PipelineOptions::progress_interval_seconds).
   double interval_seconds = 1.0;
   /// Expected total queries below the cluster (day + warmup) for the ETA;
   /// 0 disables the ETA.
@@ -39,9 +42,13 @@ struct ProgressConfig {
   std::FILE* out = nullptr;
 };
 
-/// Emits the heartbeat from construction until stop()/destruction, then
-/// prints one final line and a newline.  The registry must outlive the
-/// reporter.
+/// Emits the heartbeat from construction until stop()/destruction.  The
+/// final newline-terminated summary line (cumulative totals and average
+/// rate, marked "done") is printed by stop() itself *after* the heartbeat
+/// thread joined, so it is emitted exactly once on every completion path
+/// — including a finish that lands exactly on a heartbeat tick, which
+/// previously could race the thread out of its last line.  The registry
+/// must outlive the reporter.
 class ProgressReporter {
  public:
   ProgressReporter(MetricsRegistry& registry, ProgressConfig config = {});
@@ -50,7 +57,8 @@ class ProgressReporter {
   ProgressReporter(const ProgressReporter&) = delete;
   ProgressReporter& operator=(const ProgressReporter&) = delete;
 
-  /// Stops the heartbeat thread (idempotent) after a final status line.
+  /// Stops the heartbeat thread and flushes the final summary line.
+  /// Idempotent: only the first call prints.
   void stop();
 
  private:
@@ -61,6 +69,7 @@ class ProgressReporter {
   Counter* answered_;       // cluster.below_answers
   Timer* shards_done_;      // engine.shard (count == completed shards)
   std::FILE* out_;
+  std::chrono::steady_clock::time_point start_;
   std::uint64_t last_answered_ = 0;
   double last_tick_seconds_ = 0.0;
   std::mutex mutex_;

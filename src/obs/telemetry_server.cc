@@ -1,0 +1,130 @@
+#include "obs/telemetry_server.h"
+
+#include <algorithm>
+
+#include "obs/heartbeat.h"
+#include "obs/json_writer.h"
+#include "obs/openmetrics.h"
+
+namespace dnsnoise::obs {
+
+HealthDocument render_health(const MetricsSnapshot& snapshot,
+                             double now_seconds, double stall_seconds) {
+  HealthDocument doc;
+  const MetricSample* active = snapshot.find(kRunActiveGauge);
+  doc.run_active = active != nullptr && active->value != 0.0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.kind != MetricKind::kGauge) continue;
+    if (sample.name.rfind(kHeartbeatGaugePrefix, 0) != 0) continue;
+    StageHealth stage;
+    stage.stage = sample.name.substr(kHeartbeatGaugePrefix.size());
+    stage.age_seconds = std::max(0.0, now_seconds - sample.value);
+    stage.ok = !doc.run_active || stage.age_seconds <= stall_seconds;
+    doc.healthy = doc.healthy && stage.ok;
+    doc.stages.push_back(std::move(stage));
+  }
+
+  std::string& out = doc.json;
+  out = "{\n  \"schema\": \"dnsnoise-health-v1\",\n";
+  json_key(out, 2, "status");
+  json_string(out, !doc.healthy      ? "stalled"
+                   : doc.run_active ? "ok"
+                                    : "idle");
+  out += ",\n";
+  json_key(out, 2, "run_active");
+  out += doc.run_active ? "true" : "false";
+  out += ",\n";
+  json_key(out, 2, "stall_seconds");
+  out += format_double(stall_seconds);
+  out += ",\n";
+  json_key(out, 2, "stages");
+  if (doc.stages.empty()) {
+    out += "[]";
+  } else {
+    out += "[\n";
+    bool first = true;
+    for (const StageHealth& stage : doc.stages) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    {";
+      out += "\"stage\": ";
+      json_string(out, stage.stage);
+      out += ", \"age_seconds\": " + format_double(stage.age_seconds);
+      out += ", \"ok\": ";
+      out += stage.ok ? "true" : "false";
+      out += "}";
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return doc;
+}
+
+TelemetryServer::TelemetryServer(const MetricsRegistry& registry,
+                                 TelemetryConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (config_.stall_seconds <= 0.0) config_.stall_seconds = 30.0;
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start() {
+  if (listener_.running()) return true;
+  return listener_.start(config_.port, [this](const net::HttpRequest& req) {
+    return handle(req);
+  });
+}
+
+void TelemetryServer::stop() { listener_.stop(); }
+
+void TelemetryServer::publish_trace(std::string trace_json) {
+  const std::lock_guard lock(trace_mutex_);
+  trace_json_ = std::move(trace_json);
+}
+
+net::HttpResponse TelemetryServer::handle(
+    const net::HttpRequest& request) const {
+  net::HttpResponse response;
+  // Strip any query string: scrapers may append ?format=... style noise.
+  std::string path = request.target.substr(0, request.target.find('?'));
+  if (path == "/metrics") {
+    response.content_type = std::string(kOpenMetricsContentType);
+    response.body = to_openmetrics(registry_.snapshot(), config_.labels);
+    return response;
+  }
+  if (path == "/healthz") {
+    HealthDocument doc = render_health(
+        registry_.snapshot(), heartbeat_clock_seconds(), config_.stall_seconds);
+    response.status = doc.healthy ? 200 : 503;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = std::move(doc.json);
+    return response;
+  }
+  if (path == "/trace") {
+    const std::lock_guard lock(trace_mutex_);
+    if (trace_json_.empty()) {
+      response.status = 404;
+      response.content_type = "application/json; charset=utf-8";
+      response.body =
+          "{\"error\": \"no trace snapshot published; enable tracing and "
+          "finish a day\"}\n";
+      return response;
+    }
+    response.content_type = "application/json; charset=utf-8";
+    response.body = trace_json_;
+    return response;
+  }
+  if (path == "/") {
+    response.body =
+        "dnsnoise telemetry\n"
+        "  /metrics  OpenMetrics exposition of the live registry\n"
+        "  /healthz  per-stage liveness (200 ok/idle, 503 stalled)\n"
+        "  /trace    latest dnsnoise-trace-v1 snapshot\n";
+    return response;
+  }
+  response.status = 404;
+  response.body = "unknown endpoint; try /metrics, /healthz, /trace\n";
+  return response;
+}
+
+}  // namespace dnsnoise::obs

@@ -1,0 +1,107 @@
+// Live telemetry endpoint for long mining runs (DESIGN.md §13).
+//
+// Where obs/json_snapshot and obs/trace_export make a run inspectable
+// *after* it finishes, TelemetryServer makes it observable *while it
+// mines*: a net/HttpListener accept thread serves
+//
+//   GET /metrics  OpenMetrics exposition of a live MetricsRegistry
+//                 snapshot (obs/openmetrics; counters, gauges, timers,
+//                 native histogram series with percentile gauges),
+//   GET /healthz  JSON health document (schema dnsnoise-health-v1):
+//                 per-stage liveness from the obs.heartbeat.* gauges,
+//                 HTTP 200 when healthy/idle, 503 when a stage stalled
+//                 while obs.run_active is 1,
+//   GET /trace    the most recently published dnsnoise-trace-v1 JSON
+//                 (publish_trace), 404 before the first snapshot,
+//   GET /         a plain-text index of the above.
+//
+// Obs contract: strictly opt-in (MiningSession::enable_telemetry /
+// PipelineOptions::telemetry_port), zero hot-path overhead — every
+// snapshot is taken on the scrape thread via the registry's established
+// concurrent-snapshot path, no new locks touch the query path, and
+// mining findings are bit-identical with the server on or off
+// (TelemetryPipeline.* tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/http_listener.h"
+#include "obs/metrics.h"
+
+namespace dnsnoise::obs {
+
+struct TelemetryConfig {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// /healthz flags a stage as stalled when its heartbeat is older than
+  /// this while a run is active.
+  double stall_seconds = 30.0;
+  /// Constant labels stamped on every exported OpenMetrics series.
+  std::map<std::string, std::string> labels;
+};
+
+/// One stage row of the health document.
+struct StageHealth {
+  std::string stage;
+  double age_seconds = 0.0;
+  bool ok = true;
+};
+
+/// The /healthz payload, also available to code via render_health().
+struct HealthDocument {
+  bool healthy = true;
+  bool run_active = false;
+  std::vector<StageHealth> stages;
+  std::string json;  // schema dnsnoise-health-v1
+};
+
+/// Pure health evaluation (unit-testable without sockets): derives
+/// per-stage ages from the obs.heartbeat.* gauges in `snapshot` against
+/// `now_seconds` (pass heartbeat_clock_seconds()).  Freshness is only
+/// enforced while obs.run_active is 1 — an idle pipeline is healthy by
+/// definition, reported as status "idle".
+HealthDocument render_health(const MetricsSnapshot& snapshot,
+                             double now_seconds, double stall_seconds);
+
+class TelemetryServer {
+ public:
+  /// The registry must outlive the server.
+  explicit TelemetryServer(const MetricsRegistry& registry,
+                           TelemetryConfig config = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds and starts serving.  False (reason in error()) when the port
+  /// is unavailable; the pipeline then simply runs unobserved.
+  bool start();
+  void stop();
+
+  bool running() const noexcept { return listener_.running(); }
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  const std::string& error() const noexcept { return listener_.error(); }
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+  /// Publishes a frozen dnsnoise-trace-v1 document for GET /trace.
+  /// Trace snapshots must be taken between pipeline phases (the
+  /// TraceCollector contract), so the session pushes them here instead
+  /// of the scrape thread pulling mid-run.
+  void publish_trace(std::string trace_json);
+
+  /// Serves one request; exposed for tests (the listener calls this).
+  net::HttpResponse handle(const net::HttpRequest& request) const;
+
+ private:
+  const MetricsRegistry& registry_;
+  TelemetryConfig config_;
+  net::HttpListener listener_;
+  mutable std::mutex trace_mutex_;
+  std::string trace_json_;
+};
+
+}  // namespace dnsnoise::obs

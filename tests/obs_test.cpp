@@ -200,7 +200,71 @@ TEST(JsonSnapshot, FormatDoubleIsShortestRoundTrip) {
   EXPECT_EQ(format_double(1.5), "1.5");
   EXPECT_EQ(format_double(0.1), "0.1");
   EXPECT_EQ(format_double(0.0), "0");
-  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(JsonSnapshot, FormatDoubleHandlesNonFiniteValues) {
+  // JSON has no literal for NaN/Inf; NaN becomes null, infinities clamp
+  // to the nearest representable finite double so magnitude survives.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()),
+            format_double(std::numeric_limits<double>::max()));
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()),
+            format_double(std::numeric_limits<double>::lowest()));
+  // The clamped values must still be valid JSON numbers that round-trip.
+  const std::string clamped =
+      format_double(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(std::stod(clamped), std::numeric_limits<double>::max());
+  EXPECT_EQ(clamped.find("inf"), std::string::npos);
+  EXPECT_EQ(clamped.find("nan"), std::string::npos);
+}
+
+TEST(JsonSnapshot, HistogramJsonCarriesPercentiles) {
+  MetricsRegistry registry;
+  Histogram& histo = registry.histogram("resolver.upstream_us");
+  for (int i = 0; i < 100; ++i) histo.record(100.0);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p90\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p999\": "), std::string::npos);
+}
+
+TEST(JsonSnapshot, EstimateQuantileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram& histo = registry.histogram("h");
+  for (int i = 0; i < 1000; ++i) histo.record(100.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 1u);
+  const MetricSample& sample = snapshot.samples[0];
+  // All mass sits in the log-bucket covering 100; every quantile must
+  // land inside that bucket's [lo, hi) bounds.
+  const HistogramPercentiles p = estimate_percentiles(sample);
+  for (const double q : {p.p50, p.p90, p.p99, p.p999}) {
+    EXPECT_GT(q, 0.0);
+    EXPECT_LE(q, 256.0);  // log2 bucket containing 100 ends at 128
+    EXPECT_GE(q, 64.0);
+  }
+  // Percentiles are monotone in q.
+  EXPECT_LE(p.p50, p.p90);
+  EXPECT_LE(p.p90, p.p99);
+  EXPECT_LE(p.p99, p.p999);
+}
+
+TEST(JsonSnapshot, EstimateQuantileHandlesUnderflowAndEmpty) {
+  MetricsRegistry registry;
+  Histogram& empty = registry.histogram("empty");
+  (void)empty;
+  Histogram& sub = registry.histogram("sub");
+  sub.record(0.25);  // below the first bucket boundary -> zero_count
+  const MetricsSnapshot snapshot = registry.snapshot();
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name == "empty") {
+      EXPECT_EQ(estimate_quantile(sample, 0.5), 0.0);
+    } else if (sample.name == "sub") {
+      // Underflow bin reports 0 (values indistinguishable below 1).
+      EXPECT_EQ(estimate_quantile(sample, 0.5), 0.0);
+    }
+  }
 }
 
 TEST(JsonSnapshot, WriteJsonFileRoundTrips) {

@@ -39,10 +39,14 @@ def load_gauges(path, suffix):
     gauges = doc.get("gauges")
     if not isinstance(gauges, dict):
         raise ValueError(f"{path}: missing gauges section")
+    # A NaN gauge serializes as JSON null (obs/json_writer); treat it as
+    # absent rather than crashing the gate on float(None).
     return {
         name: float(value)
         for name, value in gauges.items()
         if name.endswith(suffix)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
     }
 
 

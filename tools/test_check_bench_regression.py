@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/check_bench_regression.py.
+
+Runs the gate as a subprocess against generated fixture snapshots and
+asserts the documented exit codes: 0 ok/skipped, 1 regression found,
+2 missing/malformed input.  Registered with ctest as
+``tools.check_bench_regression``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def snapshot(gauges):
+    return {"schema": "dnsnoise-metrics-v1", "counters": {},
+            "gauges": gauges, "timers": {}}
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, doc=None, raw=None):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            if raw is not None:
+                fh.write(raw)
+            else:
+                json.dump(doc, fh)
+        return path
+
+    def run_gate(self, current, baseline, *extra):
+        result = subprocess.run(
+            [sys.executable, GATE, current, baseline, *extra],
+            capture_output=True, text=True)
+        return result.returncode, result.stdout
+
+    def test_no_regression_passes(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+        self.assertIn("no regressions", out)
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 500.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_drop_within_threshold_passes(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 800.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
+    def test_custom_threshold_is_honored(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 800.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, _ = self.run_gate(current, baseline, "--threshold", "0.10")
+        self.assertEqual(code, 1)
+
+    def test_alloc_growth_fails(self):
+        current = self.path("current.json",
+                            snapshot({"a.allocs_per_query": 0.5}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.allocs_per_query": 0.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 1, out)
+        self.assertIn("allocs/query", out)
+
+    def test_alloc_slack_absorbs_noise(self):
+        current = self.path("current.json",
+                            snapshot({"a.allocs_per_query": 0.04}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.allocs_per_query": 0.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
+    def test_missing_baseline_skips_with_zero(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(
+            current, os.path.join(self.dir.name, "absent.json"))
+        self.assertEqual(code, 0, out)
+        self.assertIn("skipping", out)
+
+    def test_missing_current_errors(self):
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(
+            os.path.join(self.dir.name, "absent.json"), baseline)
+        self.assertEqual(code, 2, out)
+
+    def test_malformed_current_errors(self):
+        current = self.path("current.json", raw="{not json")
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 2, out)
+
+    def test_wrong_schema_errors(self):
+        current = self.path(
+            "current.json",
+            {"schema": "something-else", "gauges": {}})
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 2, out)
+
+    def test_empty_current_against_populated_baseline_errors(self):
+        current = self.path("current.json", snapshot({}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 1000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 2, out)
+        self.assertIn("no gated", out)
+
+    def test_gauge_only_on_one_side_never_gates(self):
+        current = self.path(
+            "current.json",
+            snapshot({"a.events_per_sec": 1000.0,
+                      "b.events_per_sec": 1.0}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"a.events_per_sec": 1000.0,
+                      "c.events_per_sec": 9999.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+        self.assertIn("missing from current", out)
+        self.assertIn("is new", out)
+
+    def test_null_gauges_are_ignored(self):
+        # A NaN gauge serializes as JSON null; the gate must not crash
+        # and must not gate on it.
+        current = self.path(
+            "current.json",
+            snapshot({"a.events_per_sec": 1000.0,
+                      "b.events_per_sec": None}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"a.events_per_sec": 900.0,
+                      "b.events_per_sec": 5000.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+        self.assertIn("missing from current", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
