@@ -1,0 +1,201 @@
+// Wire query CLI: a tiny dig replacement built on net/udp_client, used by
+// the CI server-smoke job to assert server behaviour (DESIGN.md §14).
+//
+//   ./build/examples/dns_query 127.0.0.1 5353 a1.smoke.test A
+//   ./build/examples/dns_query 127.0.0.1 5353 big.fat.test A --expect-tc-retry
+//   ./build/examples/dns_query 127.0.0.1 5353 x.test A --malformed=junk
+//
+// Assertion flags (each failed expectation prints a FAIL line):
+//   --expect-rcode NAME        NOERROR | FORMERR | NXDOMAIN | NOTIMP
+//   --expect-min-answers N     at least N answer records
+//   --expect-tc-retry          UDP response must carry TC=1 and the final
+//                              answer must arrive over TCP
+//   --malformed=KIND           send a hand-built broken payload instead of
+//                              a real query (junk | truncated |
+//                              pointer-loop) and assert the server either
+//                              drops it (timeout) or answers FORMERR
+//
+// Exit codes: 0 all expectations met, 1 expectation failed, 2 usage/IO.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/wire.h"
+#include "net/udp_client.h"
+
+using namespace dnsnoise;
+
+namespace {
+
+std::optional<RCode> parse_rcode(const std::string& name) {
+  if (name == "NOERROR") return RCode::NoError;
+  if (name == "FORMERR") return RCode::FormErr;
+  if (name == "NXDOMAIN") return RCode::NXDomain;
+  if (name == "NOTIMP") return RCode::NotImp;
+  return std::nullopt;
+}
+
+const char* rcode_name(RCode rcode) {
+  switch (rcode) {
+    case RCode::NoError: return "NOERROR";
+    case RCode::FormErr: return "FORMERR";
+    case RCode::NXDomain: return "NXDOMAIN";
+    case RCode::NotImp: return "NOTIMP";
+    default: return "OTHER";
+  }
+}
+
+std::vector<std::uint8_t> build_malformed(const std::string& kind) {
+  if (kind == "junk") {
+    // Plausible length, no DNS structure.
+    return {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0xff, 0xff, 0xff, 0xff, 0x41, 0x41, 0x41, 0x41};
+  }
+  if (kind == "truncated") {
+    // Header claims one question, payload ends after the header.
+    return {0x12, 0x34, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00};
+  }
+  if (kind == "pointer-loop") {
+    // Question name is a compression pointer to itself (offset 12).
+    return {0x12, 0x34, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01};
+  }
+  return {};
+}
+
+int run_malformed(const std::string& host, std::uint16_t port,
+                  const std::string& kind) {
+  const std::vector<std::uint8_t> payload = build_malformed(kind);
+  if (payload.empty()) {
+    std::fprintf(stderr, "unknown --malformed kind %s\n", kind.c_str());
+    return 2;
+  }
+  net::UdpClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "connect failed: %s\n", client.error().c_str());
+    return 2;
+  }
+  const auto response = client.exchange(payload, 500);
+  if (!response.has_value()) {
+    std::printf("PASS malformed/%s: dropped (no response)\n", kind.c_str());
+    return 0;
+  }
+  const auto decoded = decode_message(*response);
+  if (decoded.has_value() && decoded->header.rcode == RCode::FormErr) {
+    std::printf("PASS malformed/%s: FORMERR\n", kind.c_str());
+    return 0;
+  }
+  std::printf("FAIL malformed/%s: got a non-FORMERR response (%zu bytes)\n",
+              kind.c_str(), response->size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(
+        stderr,
+        "usage: %s HOST PORT QNAME QTYPE [--expect-rcode NAME]\n"
+        "          [--expect-min-answers N] [--expect-tc-retry]\n"
+        "          [--malformed=junk|truncated|pointer-loop]\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const auto port =
+      static_cast<std::uint16_t>(std::strtoul(argv[2], nullptr, 10));
+  const std::string qname = argv[3];
+  const std::string qtype_name = argv[4];
+
+  std::optional<RCode> expect_rcode;
+  std::size_t expect_min_answers = 0;
+  bool expect_tc_retry = false;
+  std::string malformed;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect-rcode" && i + 1 < argc) {
+      expect_rcode = parse_rcode(argv[++i]);
+      if (!expect_rcode.has_value()) {
+        std::fprintf(stderr, "unknown rcode name %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--expect-min-answers" && i + 1 < argc) {
+      expect_min_answers =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--expect-tc-retry") {
+      expect_tc_retry = true;
+    } else if (arg.rfind("--malformed=", 0) == 0) {
+      malformed = arg.substr(std::strlen("--malformed="));
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!malformed.empty()) return run_malformed(host, port, malformed);
+
+  RRType qtype = RRType::A;
+  if (qtype_name == "AAAA") {
+    qtype = RRType::AAAA;
+  } else if (qtype_name == "TXT") {
+    qtype = RRType::TXT;
+  } else if (qtype_name == "CNAME") {
+    qtype = RRType::CNAME;
+  } else if (qtype_name != "A") {
+    std::fprintf(stderr, "unsupported qtype %s\n", qtype_name.c_str());
+    return 2;
+  }
+  const auto name = DomainName::parse(qname);
+  if (!name.has_value()) {
+    std::fprintf(stderr, "bad qname %s\n", qname.c_str());
+    return 2;
+  }
+
+  net::DnsWireClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "connect failed: %s\n", client.error().c_str());
+    return 2;
+  }
+  const auto result =
+      client.query(DnsMessage::make_query(0x4242, *name, qtype), 2000);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "FAIL %s %s: no response (%s)\n", qname.c_str(),
+                 qtype_name.c_str(), client.error().c_str());
+    return 1;
+  }
+
+  const DnsMessage& response = result->response;
+  std::printf("%s %s: rcode=%s answers=%zu%s%s\n", qname.c_str(),
+              qtype_name.c_str(), rcode_name(response.header.rcode),
+              response.answers.size(),
+              result->udp_truncated ? " udp-tc" : "",
+              result->via_tcp ? " via-tcp" : "");
+  for (const ResourceRecord& rr : response.answers) {
+    std::printf("  %s %u %s\n", rr.name.text().c_str(), rr.ttl,
+                rr.rdata.c_str());
+  }
+
+  int failures = 0;
+  if (expect_rcode.has_value() && response.header.rcode != *expect_rcode) {
+    std::printf("FAIL rcode: expected %s, got %s\n", rcode_name(*expect_rcode),
+                rcode_name(response.header.rcode));
+    ++failures;
+  }
+  if (response.answers.size() < expect_min_answers) {
+    std::printf("FAIL answers: expected at least %zu, got %zu\n",
+                expect_min_answers, response.answers.size());
+    ++failures;
+  }
+  if (expect_tc_retry && !(result->udp_truncated && result->via_tcp)) {
+    std::printf("FAIL tc-retry: udp_truncated=%d via_tcp=%d\n",
+                result->udp_truncated ? 1 : 0, result->via_tcp ? 1 : 0);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -109,6 +109,20 @@ MiningSession& MiningSession::enable_telemetry(bool enabled,
   return *this;
 }
 
+MiningSession& MiningSession::enable_dns_server(
+    bool enabled, std::uint16_t port, const DnsServerOptions& server) {
+  server_enabled_ = enabled;
+  server_options_ = server;
+  server_options_.port = port;
+  return *this;
+}
+
+std::unique_ptr<ServedMiningDay> MiningSession::serve(ScenarioDate date) {
+  if (!server_enabled_) return nullptr;
+  return std::make_unique<ServedMiningDay>(date, options_, threads_,
+                                           server_options_);
+}
+
 void MiningSession::restart_telemetry() {
   telemetry_ = nullptr;  // stop the old server before rebinding the port
   if (metrics_ == nullptr) return;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/serve.h"
 #include "engine/shard_merge.h"
 #include "miner/pipeline.h"
 
@@ -105,6 +106,13 @@ class MiningSession {
   /// and drops the server.
   MiningSession& enable_telemetry(bool enabled = true, std::uint16_t port = 0,
                                   double stall_seconds = 30.0);
+  /// Opt-in DNS server mode (DESIGN.md §14): configures serve() to answer
+  /// RFC 1035 wire queries on UDP 127.0.0.1:<port> (0 picks an ephemeral
+  /// port) with TCP fallback for truncated responses.  `server` supplies
+  /// the remaining knobs (socket shards, batching, smoke-zone hooks); its
+  /// port/tcp_fallback fields are overridden by the arguments here.
+  MiningSession& enable_dns_server(bool enabled = true, std::uint16_t port = 0,
+                                   const DnsServerOptions& server = {});
 
   const PipelineOptions& options() const noexcept { return options_; }
   std::size_t thread_count() const noexcept { return threads_; }
@@ -132,6 +140,13 @@ class MiningSession {
   /// evaluate).  Check result.ok() before using the findings.
   MiningDayResult run(ScenarioDate date);
 
+  /// Starts the day in server mode: warmup runs in-process, then queries
+  /// arrive over the socket at ->udp_port() and feed the same tap/metrics
+  /// path; ->finish() mines the captured day.  Null unless
+  /// enable_dns_server was called; check ->ok() before serving (a failed
+  /// socket bind reports there).
+  std::unique_ptr<ServedMiningDay> serve(ScenarioDate date);
+
  private:
   /// Rebuilds (or stops) the telemetry server against the current
   /// registry; called by enable_telemetry and by enable_metrics when a
@@ -145,6 +160,8 @@ class MiningSession {
 
   PipelineOptions options_;
   std::size_t threads_ = 1;
+  bool server_enabled_ = false;
+  DnsServerOptions server_options_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::TraceCollector> trace_;
   std::shared_ptr<obs::TelemetryServer> telemetry_;

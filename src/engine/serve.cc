@@ -1,0 +1,130 @@
+#include "engine/serve.h"
+
+#include <utility>
+
+#include "engine/parallel_miner.h"
+#include "obs/heartbeat.h"
+
+namespace dnsnoise {
+
+namespace {
+
+/// In-process warmup feed, identical to the pipeline's drive loop.
+void drive_warmup(TrafficGenerator& traffic, RdnsCluster& cluster,
+                  std::int64_t day, obs::Heartbeat& heartbeat) {
+  Question question;  // scratch reused across the day (zero-alloc re-parse)
+  traffic.run_day(day, [&cluster, &question, &heartbeat](
+                           SimTime ts, std::uint64_t client,
+                           const QuerySpec& query) {
+    heartbeat.tick();
+    if (!question.name.assign(query.qname)) return;
+    question.type = query.qtype;
+    cluster.query_view(client, question, ts);
+  });
+}
+
+}  // namespace
+
+ServedMiningDay::ServedMiningDay(ScenarioDate date,
+                                 const PipelineOptions& options,
+                                 std::size_t threads,
+                                 const DnsServerOptions& server)
+    : options_(options),
+      threads_(threads == 0 ? 1 : threads),
+      day_index_(scenario_day_index(date)),
+      scenario_(date, options.scale),
+      capture_(options.capture) {
+  // Extra zones must exist before the cluster takes its (const, lock-free)
+  // authority reference.
+  if (server.authority_hook) server.authority_hook(scenario_.authority_mut());
+
+  ClusterConfig cluster_config = options_.cluster;
+  cluster_config.metrics = options_.metrics;
+  cluster_config.trace = options_.trace;
+  cluster_ = std::make_unique<RdnsCluster>(cluster_config,
+                                           scenario_.authority());
+
+  obs::Heartbeat heartbeat(options_.metrics, "cluster");
+  heartbeat.beat();
+  if (options_.warmup) {
+    // The same reduced-volume warmup day simulate_day runs, in-process and
+    // before the capture attaches: caches reach steady state identically
+    // whether the measured day then arrives in-process or over the wire.
+    ScenarioScale warm_scale = scenario_.scale();
+    warm_scale.queries_per_day = static_cast<std::uint64_t>(
+        static_cast<double>(warm_scale.queries_per_day) *
+        options_.warmup_volume_fraction);
+    warm_scale.traffic_stream ^= 0xbeefcafeULL;
+    Scenario warm(date, warm_scale);
+    drive_warmup(warm.traffic(), *cluster_, day_index_ - 1, heartbeat);
+  }
+
+  capture_.start_day(day_index_);
+  capture_.attach(*cluster_);
+  attached_ = true;
+
+  WireFrontendConfig frontend_config;
+  frontend_config.udp.port = server.port;
+  frontend_config.udp.host = server.host;
+  frontend_config.udp.shards = server.socket_shards;
+  frontend_config.udp.batch = server.batch;
+  frontend_config.tcp_fallback = server.tcp_fallback;
+  frontend_config.allow_replay_meta = server.allow_replay_meta;
+  frontend_config.max_udp_payload = server.max_udp_payload;
+  frontend_config.day_start = day_index_ * kSecondsPerDay;
+  frontend_config.metrics = options_.metrics;
+  frontend_ = std::make_unique<WireFrontend>(*cluster_, frontend_config);
+  if (!frontend_->start()) error_ = frontend_->error();
+}
+
+ServedMiningDay::~ServedMiningDay() {
+  frontend_->stop();
+  if (attached_) {
+    cluster_->flush_taps();
+    capture_.detach(*cluster_);
+  }
+}
+
+MiningDayResult ServedMiningDay::finish() {
+  MiningDayResult result;
+  if (finished_) {
+    result.status = MiningDayStatus::kInvalidConfig;
+    result.error = "served day already finished";
+    return result;
+  }
+  finished_ = true;
+  if (!error_.empty()) {
+    result.status = MiningDayStatus::kInvalidConfig;
+    result.error = error_;
+    return result;
+  }
+  // Quiesce the serving threads before touching the tap; queries arriving
+  // after stop() are no longer answered (clients see a timeout).
+  frontend_->stop();
+  cluster_->flush_taps();
+  capture_.detach(*cluster_);
+  attached_ = false;
+
+  const obs::RunActiveScope run_active(options_.metrics);
+  const MineFn mine = [this](const DisposableZoneMiner& miner,
+                             DomainNameTree& tree,
+                             const CacheHitRateTracker& chr) {
+    return mine_zones_parallel(miner, tree, chr, *options_.miner.psl,
+                               threads_);
+  };
+  // A served day can be arbitrarily sparse (a demo server answering a
+  // handful of digs): it passes the empty-capture guard yet leaves the
+  // trainer with no usable rows, which surfaces as a throw deep in
+  // labeling/training.  That is an undermined day, not a crash.
+  try {
+    return finish_mining_day(capture_, scenario_, options_, mine);
+  } catch (const std::exception& ex) {
+    result.status = MiningDayStatus::kEmptyCapture;
+    result.error = std::string("mining the served day failed (too little "
+                               "traffic?): ") +
+                   ex.what();
+    return result;
+  }
+}
+
+}  // namespace dnsnoise

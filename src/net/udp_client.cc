@@ -1,0 +1,227 @@
+#include "net/udp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "dns/wire.h"
+
+namespace dnsnoise::net {
+
+namespace {
+
+bool resolve_addr(const std::string& host, std::uint16_t port,
+                  sockaddr_in& addr, std::string& error) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad address: " + host;
+    return false;
+  }
+  return true;
+}
+
+void set_timeout(int fd, int millis) {
+  timeval timeout{};
+  timeout.tv_sec = millis / 1000;
+  timeout.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+template <typename T>
+bool parse_field(std::string_view text, std::string_view key, T& out) {
+  const std::size_t at = text.find(key);
+  if (at == std::string_view::npos) return false;
+  const char* begin = text.data() + at + key.size();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr != begin;
+}
+
+}  // namespace
+
+// --- UdpClient -------------------------------------------------------------
+
+UdpClient::~UdpClient() { close(); }
+
+bool UdpClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  sockaddr_in addr{};
+  if (!resolve_addr(host, port, addr, error_)) return false;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void UdpClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool UdpClient::send(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return false;
+  return ::send(fd_, payload.data(), payload.size(), MSG_NOSIGNAL) >= 0;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpClient::receive(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  set_timeout(fd_, timeout_ms);
+  std::vector<std::uint8_t> buf(0xffff);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  return buf;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpClient::exchange(
+    std::span<const std::uint8_t> payload, int timeout_ms) {
+  if (!send(payload)) return std::nullopt;
+  return receive(timeout_ms);
+}
+
+// --- TCP one-shot ----------------------------------------------------------
+
+std::optional<std::vector<std::uint8_t>> tcp_exchange(
+    const std::string& host, std::uint16_t port,
+    std::span<const std::uint8_t> payload, int timeout_ms) {
+  if (payload.size() > 0xffff) return std::nullopt;
+  sockaddr_in addr{};
+  std::string error;
+  if (!resolve_addr(host, port, addr, error)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  set_timeout(fd, timeout_ms);
+  std::optional<std::vector<std::uint8_t>> result;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    const std::uint8_t len[2] = {static_cast<std::uint8_t>(payload.size() >> 8),
+                                 static_cast<std::uint8_t>(payload.size())};
+    std::uint8_t resp_len[2];
+    if (write_exact(fd, len, 2) &&
+        write_exact(fd, payload.data(), payload.size()) &&
+        read_exact(fd, resp_len, 2)) {
+      const std::size_t n =
+          (static_cast<std::size_t>(resp_len[0]) << 8) | resp_len[1];
+      std::vector<std::uint8_t> body(n);
+      if (n == 0 || read_exact(fd, body.data(), n)) result = std::move(body);
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+// --- Replay metadata -------------------------------------------------------
+
+void attach_replay_meta(DnsMessage& query, const ReplayMeta& meta) {
+  ResourceRecord rr;
+  rr.name = DomainName(kReplayMetaName);
+  rr.type = RRType::TXT;
+  rr.ttl = 0;
+  rr.rdata = "ts=" + std::to_string(meta.ts) +
+             " client=" + std::to_string(meta.client_id);
+  query.additional.push_back(std::move(rr));
+}
+
+std::optional<ReplayMeta> extract_replay_meta(const DnsMessage& query) {
+  for (const ResourceRecord& rr : query.additional) {
+    if (rr.type != RRType::TXT || rr.name.text() != kReplayMetaName) continue;
+    ReplayMeta meta;
+    if (parse_field(rr.rdata, "ts=", meta.ts) &&
+        parse_field(rr.rdata, "client=", meta.client_id)) {
+      return meta;
+    }
+    return std::nullopt;  // present but malformed: do not trust it
+  }
+  return std::nullopt;
+}
+
+// --- DnsWireClient ---------------------------------------------------------
+
+bool DnsWireClient::connect(const std::string& host, std::uint16_t udp_port,
+                            std::uint16_t tcp_port) {
+  host_ = host;
+  tcp_port_ = tcp_port != 0 ? tcp_port : udp_port;
+  if (!udp_.connect(host, udp_port)) {
+    error_ = udp_.error();
+    return false;
+  }
+  return true;
+}
+
+std::optional<WireResult> DnsWireClient::query(const DnsMessage& query,
+                                               int timeout_ms,
+                                               bool tcp_fallback) {
+  const std::vector<std::uint8_t> wire = encode_message(query);
+  const auto raw = udp_.exchange(wire, timeout_ms);
+  if (!raw) {
+    error_ = "udp exchange timed out";
+    return std::nullopt;
+  }
+  auto decoded = decode_message(*raw);
+  if (!decoded) {
+    error_ = "undecodable response";
+    return std::nullopt;
+  }
+  if (decoded->header.id != query.header.id) {
+    error_ = "response id mismatch";
+    return std::nullopt;
+  }
+  WireResult result;
+  result.udp_truncated = decoded->header.tc;
+  if (decoded->header.tc && tcp_fallback) {
+    const auto tcp_raw = tcp_exchange(host_, tcp_port_, wire, timeout_ms);
+    if (!tcp_raw) {
+      error_ = "tcp fallback failed";
+      return std::nullopt;
+    }
+    auto tcp_decoded = decode_message(*tcp_raw);
+    if (!tcp_decoded || tcp_decoded->header.id != query.header.id) {
+      error_ = "bad tcp fallback response";
+      return std::nullopt;
+    }
+    result.response = std::move(*tcp_decoded);
+    result.via_tcp = true;
+    return result;
+  }
+  result.response = std::move(*decoded);
+  return result;
+}
+
+}  // namespace dnsnoise::net

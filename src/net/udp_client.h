@@ -1,0 +1,117 @@
+// Minimal DNS wire client: raw UDP datagram exchange, RFC 1035 §4.2.2 TCP
+// framing, and a DNS-level convenience wrapper with automatic retry over
+// TCP when a response arrives truncated (TC=1).
+//
+// Shared by the wire-frontend tests, the server-throughput bench, the
+// examples/dns_query CLI, and the CI server-smoke job — so the repo can
+// exercise its own server mode end to end without external tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise::net {
+
+/// One UDP "connection" (connected datagram socket) to a server.
+class UdpClient {
+ public:
+  UdpClient() = default;
+  ~UdpClient();
+
+  UdpClient(const UdpClient&) = delete;
+  UdpClient& operator=(const UdpClient&) = delete;
+
+  /// Creates the socket and connects it to `host`:`port`.  Returns false
+  /// with the reason in error().
+  bool connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Sends one datagram.  Empty payloads are sent as zero-length datagrams
+  /// (used by tests to probe server robustness).
+  bool send(std::span<const std::uint8_t> payload);
+
+  /// Receives one datagram, waiting up to `timeout_ms`.  Returns
+  /// std::nullopt on timeout or error.
+  std::optional<std::vector<std::uint8_t>> receive(int timeout_ms = 1000);
+
+  /// send() + receive() in one call.
+  std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> payload, int timeout_ms = 1000);
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+/// One-shot TCP DNS exchange: connect, write the two-byte-length-framed
+/// query, read the framed response.  Returns std::nullopt on any failure.
+std::optional<std::vector<std::uint8_t>> tcp_exchange(
+    const std::string& host, std::uint16_t port,
+    std::span<const std::uint8_t> payload, int timeout_ms = 2000);
+
+// --- Replay metadata -------------------------------------------------------
+//
+// The simulator's golden contract ("findings are bit-identical whether a
+// day's queries arrive in-process or over the socket") needs the wire path
+// to carry the same (timestamp, client) pair the in-process drive loop
+// passes to RdnsCluster::query_view.  Replay clients attach it as one TXT
+// record in the additional section under this reserved name; a frontend
+// with allow_replay_meta set consumes (and never echoes) it.  Real clients
+// never send it, and frontends ignore it unless explicitly enabled.
+
+inline constexpr std::string_view kReplayMetaName = "replay-meta.dnsnoise";
+
+struct ReplayMeta {
+  SimTime ts = 0;
+  std::uint64_t client_id = 0;
+};
+
+/// Appends the replay-meta TXT record to `query`'s additional section.
+void attach_replay_meta(DnsMessage& query, const ReplayMeta& meta);
+
+/// Extracts replay metadata from a query; std::nullopt when absent or
+/// malformed.
+std::optional<ReplayMeta> extract_replay_meta(const DnsMessage& query);
+
+// --- DNS-level client ------------------------------------------------------
+
+/// Result of one resolved exchange.
+struct WireResult {
+  DnsMessage response;
+  bool udp_truncated = false;  // the UDP response carried TC=1
+  bool via_tcp = false;        // the returned response came over TCP
+};
+
+/// Encodes queries, exchanges them over UDP, decodes responses, and
+/// transparently retries over TCP when the server sets TC.
+class DnsWireClient {
+ public:
+  /// `tcp_port` defaults to the UDP port (the usual same-port setup).
+  bool connect(const std::string& host, std::uint16_t udp_port,
+               std::uint16_t tcp_port = 0);
+  const std::string& error() const noexcept { return error_; }
+
+  /// One query round trip.  Returns std::nullopt on timeout, undecodable
+  /// response, or response id mismatch.
+  std::optional<WireResult> query(const DnsMessage& query,
+                                  int timeout_ms = 1000,
+                                  bool tcp_fallback = true);
+
+  UdpClient& udp() noexcept { return udp_; }
+
+ private:
+  UdpClient udp_;
+  std::string host_;
+  std::uint16_t tcp_port_ = 0;
+  std::string error_;
+};
+
+}  // namespace dnsnoise::net

@@ -1,0 +1,328 @@
+#include "net/udp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dnsnoise::net {
+
+namespace {
+
+/// Poll interval of the shard receive loops: stop() flips the flag and the
+/// loops notice at the next timeout, so shutdown costs at most this long.
+constexpr int kPollMillis = 200;
+
+bool parse_bind_addr(const std::string& host, std::uint16_t port,
+                     sockaddr_in& addr, std::string& error) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "bad bind address: " + host;
+    return false;
+  }
+  return true;
+}
+
+void set_recv_timeout(int fd, int millis) {
+  timeval timeout{};
+  timeout.tv_sec = millis / 1000;
+  timeout.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+}
+
+UdpPeer to_peer(const sockaddr_in& addr) {
+  return UdpPeer{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;  // timeout, reset, or EOF mid-frame
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- UdpServer -------------------------------------------------------------
+
+bool UdpServer::batched() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+UdpServer::~UdpServer() { stop(); }
+
+bool UdpServer::start(const UdpServerConfig& config, DatagramHandler handler) {
+  if (running()) {
+    error_ = "server already running";
+    return false;
+  }
+  error_.clear();
+  config_ = config;
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch == 0) config_.batch = 1;
+  if (config_.max_datagram < 512) config_.max_datagram = 512;
+#if !defined(SO_REUSEPORT)
+  // Without SO_REUSEPORT a second bind to the same port fails; run the
+  // single-socket portable configuration instead of erroring out.
+  config_.shards = 1;
+#endif
+
+  sockaddr_in addr{};
+  if (!parse_bind_addr(config_.host, config_.port, addr, error_)) return false;
+
+  std::vector<int> sockets;
+  const auto fail = [&](const std::string& what) {
+    error_ = what + ": " + std::strerror(errno);
+    for (const int fd : sockets) ::close(fd);
+    return false;
+  };
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) return fail("socket");
+    sockets.push_back(fd);
+#if defined(SO_REUSEPORT)
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0 &&
+        config_.shards > 1) {
+      return fail("setsockopt(SO_REUSEPORT)");
+    }
+#endif
+    set_recv_timeout(fd, kPollMillis);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return fail("bind " + config_.host + ":" +
+                  std::to_string(ntohs(addr.sin_port)));
+    }
+    if (i == 0) {
+      // Resolve an ephemeral port on the first socket so the remaining
+      // shards bind the same concrete port.
+      socklen_t len = sizeof(addr);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        return fail("getsockname");
+      }
+    }
+  }
+
+  port_ = ntohs(addr.sin_port);
+  handler_ = std::move(handler);
+  stopping_.store(false, std::memory_order_relaxed);
+  received_.store(0, std::memory_order_relaxed);
+  sent_.store(0, std::memory_order_relaxed);
+  sockets_ = std::move(sockets);
+  threads_.reserve(sockets_.size());
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    threads_.emplace_back([this, i] { shard_loop(i); });
+  }
+  return true;
+}
+
+void UdpServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  for (const int fd : sockets_) ::close(fd);
+  sockets_.clear();
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+void UdpServer::shard_loop(std::size_t shard) {
+  const int fd = sockets_[shard];
+  const std::size_t batch = config_.batch;
+
+  // Per-slot receive buffers and response scratch, reused every round so
+  // the steady-state loop does not allocate.
+  std::vector<std::vector<std::uint8_t>> recv_bufs(
+      batch, std::vector<std::uint8_t>(config_.max_datagram));
+  std::vector<std::vector<std::uint8_t>> responses(batch);
+  std::vector<sockaddr_in> addrs(batch);
+
+#if defined(__linux__)
+  std::vector<iovec> recv_iovs(batch);
+  std::vector<mmsghdr> recv_msgs(batch);
+  std::vector<iovec> send_iovs(batch);
+  std::vector<mmsghdr> send_msgs(batch);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      recv_iovs[i] = {recv_bufs[i].data(), recv_bufs[i].size()};
+      recv_msgs[i] = {};
+      recv_msgs[i].msg_hdr.msg_iov = &recv_iovs[i];
+      recv_msgs[i].msg_hdr.msg_iovlen = 1;
+      recv_msgs[i].msg_hdr.msg_name = &addrs[i];
+      recv_msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    }
+    // MSG_WAITFORONE: block (until SO_RCVTIMEO) for the first datagram,
+    // then take whatever else is already queued without waiting again.
+    const int n = ::recvmmsg(fd, recv_msgs.data(), static_cast<unsigned>(batch),
+                             MSG_WAITFORONE, nullptr);
+    if (n <= 0) continue;  // timeout (stop poll) or transient error
+    received_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    unsigned to_send = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t len = recv_msgs[i].msg_len;
+      if (len == 0 || len > config_.max_datagram) continue;
+      const std::span<const std::uint8_t> request(recv_bufs[i].data(), len);
+      if (!handler_(request, to_peer(addrs[i]), responses[i]) ||
+          responses[i].empty()) {
+        continue;
+      }
+      send_iovs[to_send] = {responses[i].data(), responses[i].size()};
+      send_msgs[to_send] = {};
+      send_msgs[to_send].msg_hdr.msg_iov = &send_iovs[to_send];
+      send_msgs[to_send].msg_hdr.msg_iovlen = 1;
+      send_msgs[to_send].msg_hdr.msg_name = &addrs[i];
+      send_msgs[to_send].msg_hdr.msg_namelen = sizeof(addrs[i]);
+      ++to_send;
+    }
+    unsigned done = 0;
+    while (done < to_send) {
+      const int s =
+          ::sendmmsg(fd, send_msgs.data() + done, to_send - done, 0);
+      if (s <= 0) break;  // full socket buffer: drop the rest of the batch
+      done += static_cast<unsigned>(s);
+    }
+    sent_.fetch_add(done, std::memory_order_relaxed);
+  }
+#else
+  // Portable single-datagram fallback.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    sockaddr_in& addr = addrs[0];
+    socklen_t addr_len = sizeof(addr);
+    const ssize_t len =
+        ::recvfrom(fd, recv_bufs[0].data(), recv_bufs[0].size(), 0,
+                   reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    if (len <= 0) continue;
+    received_.fetch_add(1, std::memory_order_relaxed);
+    const std::span<const std::uint8_t> request(
+        recv_bufs[0].data(), static_cast<std::size_t>(len));
+    if (!handler_(request, to_peer(addr), responses[0]) ||
+        responses[0].empty()) {
+      continue;
+    }
+    if (::sendto(fd, responses[0].data(), responses[0].size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), addr_len) > 0) {
+      sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+#endif
+}
+
+// --- DnsTcpListener --------------------------------------------------------
+
+DnsTcpListener::~DnsTcpListener() { stop(); }
+
+bool DnsTcpListener::start(const std::string& host, std::uint16_t port,
+                           DatagramHandler handler) {
+  if (running()) {
+    error_ = "listener already running";
+    return false;
+  }
+  error_.clear();
+  sockaddr_in addr{};
+  if (!parse_bind_addr(host, port, addr, error_)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = "bind " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  handler_ = std::move(handler);
+  fd_ = fd;
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void DnsTcpListener::stop() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+  handler_ = nullptr;
+}
+
+void DnsTcpListener::accept_loop() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof(addr);
+    const int client =
+        ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (or unrecoverable): exit the thread
+    }
+    set_recv_timeout(client, 2000);
+    serve_connection(client, to_peer(addr));
+    ::close(client);
+  }
+}
+
+void DnsTcpListener::serve_connection(int client_fd, const UdpPeer& peer) {
+  std::vector<std::uint8_t> request;
+  std::vector<std::uint8_t> response;
+  // Several queries per connection; close on EOF, timeout, or bad frame.
+  for (;;) {
+    std::uint8_t len_bytes[2];
+    if (!read_exact(client_fd, len_bytes, 2)) return;
+    const std::size_t frame_len =
+        (static_cast<std::size_t>(len_bytes[0]) << 8) | len_bytes[1];
+    if (frame_len == 0) return;
+    request.resize(frame_len);
+    if (!read_exact(client_fd, request.data(), frame_len)) return;
+    if (!handler_(request, peer, response) || response.empty()) return;
+    if (response.size() > 0xffff) return;  // cannot frame: drop connection
+    const std::uint8_t out_len[2] = {
+        static_cast<std::uint8_t>(response.size() >> 8),
+        static_cast<std::uint8_t>(response.size())};
+    if (!write_exact(client_fd, out_len, 2)) return;
+    if (!write_exact(client_fd, response.data(), response.size())) return;
+  }
+}
+
+}  // namespace dnsnoise::net

@@ -1,0 +1,143 @@
+// Wire-speed UDP datagram server with per-core socket sharding, plus the
+// TCP listener DNS needs for truncated-response fallback.
+//
+// The transport layer of the DNS server mode (DESIGN.md §14): UdpServer
+// owns N sockets bound to the same address via SO_REUSEPORT — the kernel
+// load-balances datagrams across them — and one receive thread per socket.
+// On Linux the loop drains and answers in recvmmsg()/sendmmsg() batches,
+// amortizing syscall cost over dozens of packets; elsewhere it falls back
+// to a portable recvfrom()/sendto() loop.  The server is payload-agnostic:
+// a DatagramHandler turns request bytes into response bytes (DNS framing
+// lives in resolver/wire_frontend).
+//
+// DnsTcpListener is the matching stream transport: RFC 1035 §4.2.2
+// two-byte length framing, one blocking accept thread, several queries per
+// connection.  It exists for responses the UDP 512-byte limit truncates
+// (TC=1), so it is deliberately simple — fallback traffic is rare.
+//
+// Thread-safety: start()/stop() belong to the owning thread.  The handler
+// is invoked concurrently from every shard thread (and the TCP accept
+// thread) and must be thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dnsnoise::net {
+
+/// Source of one datagram / connection, as seen by the handler.  IPv4 in
+/// host byte order — enough to derive a stable anonymized client id.
+struct UdpPeer {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 0;
+};
+
+/// Turns one request payload into one response payload.  Returns false to
+/// drop (no response is sent); `response` is a reusable per-slot scratch
+/// buffer the handler overwrites.  Must be thread-safe.
+using DatagramHandler = std::function<bool(
+    std::span<const std::uint8_t> request, const UdpPeer& peer,
+    std::vector<std::uint8_t>& response)>;
+
+struct UdpServerConfig {
+  /// UDP port to bind (0 picks an ephemeral port, see port()).
+  std::uint16_t port = 0;
+  /// Bind address; loopback by default so test servers are not reachable
+  /// from outside the host.
+  std::string host = "127.0.0.1";
+  /// SO_REUSEPORT socket shards (>= 1), one receive thread each.  Clamped
+  /// to 1 on platforms without SO_REUSEPORT.
+  std::size_t shards = 1;
+  /// Datagrams per recvmmsg()/sendmmsg() round on the batched path (>= 1).
+  std::size_t batch = 32;
+  /// Receive buffer per datagram slot; larger datagrams are truncated by
+  /// the kernel and then dropped by the length check.
+  std::size_t max_datagram = 4096;
+};
+
+class UdpServer {
+ public:
+  UdpServer() = default;
+  ~UdpServer();
+
+  UdpServer(const UdpServer&) = delete;
+  UdpServer& operator=(const UdpServer&) = delete;
+
+  /// Binds the shard sockets and spawns the receive threads.  Returns
+  /// false — with the reason in error() — on failure; the server is then
+  /// inert and start() may be retried.
+  bool start(const UdpServerConfig& config, DatagramHandler handler);
+
+  /// Stops the receive threads, joins them, closes the sockets.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const noexcept { return !sockets_.empty(); }
+  /// The bound port (resolved after start(); 0 when not running).
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& error() const noexcept { return error_; }
+  /// Shards actually running (after the SO_REUSEPORT clamp).
+  std::size_t shard_count() const noexcept { return sockets_.size(); }
+  /// True when this build drains sockets with recvmmsg()/sendmmsg().
+  static bool batched() noexcept;
+
+  std::uint64_t datagrams_received() const noexcept {
+    return received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t datagrams_sent() const noexcept {
+    return sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void shard_loop(std::size_t shard);
+
+  std::vector<int> sockets_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> sent_{0};
+  std::uint16_t port_ = 0;
+  std::string error_;
+  UdpServerConfig config_;
+  DatagramHandler handler_;
+};
+
+/// TCP side of a DNS server port: two-byte big-endian length framing in
+/// both directions (RFC 1035 §4.2.2).  One blocking accept thread serves
+/// connections serially; each connection may carry several queries and is
+/// closed on EOF, timeout, or a malformed frame.
+class DnsTcpListener {
+ public:
+  DnsTcpListener() = default;
+  ~DnsTcpListener();
+
+  DnsTcpListener(const DnsTcpListener&) = delete;
+  DnsTcpListener& operator=(const DnsTcpListener&) = delete;
+
+  /// Binds `host`:`port` (0 picks an ephemeral port) and spawns the accept
+  /// thread.  Returns false with the reason in error() on failure.
+  bool start(const std::string& host, std::uint16_t port,
+             DatagramHandler handler);
+  void stop();
+
+  bool running() const noexcept { return fd_ >= 0; }
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int client_fd, const UdpPeer& peer);
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  DatagramHandler handler_;
+  std::thread thread_;
+};
+
+}  // namespace dnsnoise::net

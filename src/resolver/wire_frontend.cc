@@ -1,0 +1,213 @@
+#include "resolver/wire_frontend.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "dns/wire.h"
+#include "net/udp_client.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace dnsnoise {
+
+namespace {
+
+constexpr std::size_t kWireHeaderSize = 12;
+
+/// Stable anonymized client id for a socket peer — the live-mode stand-in
+/// for the simulator's client ids.
+std::uint64_t client_id_for_peer(const net::UdpPeer& peer) {
+  return mix64((static_cast<std::uint64_t>(peer.addr) << 16) ^ peer.port);
+}
+
+void bump(std::atomic<std::uint64_t>& local, obs::Counter* metric) {
+  local.fetch_add(1, std::memory_order_relaxed);
+  if (metric != nullptr) metric->add(1);
+}
+
+/// Minimal response skeleton echoing the request identity.
+DnsMessage make_skeleton(std::uint16_t id, bool rd, RCode rcode) {
+  DnsMessage response;
+  response.header.id = id;
+  response.header.qr = true;
+  response.header.rd = rd;
+  response.header.ra = true;
+  response.header.rcode = rcode;
+  return response;
+}
+
+}  // namespace
+
+WireFrontend::WireFrontend(RdnsCluster& cluster,
+                           const WireFrontendConfig& config)
+    : cluster_(cluster),
+      config_(config),
+      heartbeat_(config.metrics, "server", /*every_n=*/64) {
+  if (config_.metrics != nullptr) {
+    queries_metric_ = &config_.metrics->counter("server.queries");
+    formerr_metric_ = &config_.metrics->counter("server.formerr");
+    notimp_metric_ = &config_.metrics->counter("server.notimp");
+    dropped_metric_ = &config_.metrics->counter("server.dropped");
+    truncated_metric_ = &config_.metrics->counter("server.truncated");
+    tcp_metric_ = &config_.metrics->counter("server.tcp_queries");
+  }
+}
+
+WireFrontend::~WireFrontend() { stop(); }
+
+bool WireFrontend::start() {
+  if (running()) {
+    error_ = "frontend already running";
+    return false;
+  }
+  error_.clear();
+  started_ = std::chrono::steady_clock::now();
+  const auto udp_handler = [this](std::span<const std::uint8_t> request,
+                                  const net::UdpPeer& peer,
+                                  std::vector<std::uint8_t>& response) {
+    return handle_query(request, peer, response, Transport::kUdp);
+  };
+  if (!udp_.start(config_.udp, udp_handler)) {
+    error_ = "udp: " + udp_.error();
+    return false;
+  }
+  if (config_.tcp_fallback) {
+    const auto tcp_handler = [this](std::span<const std::uint8_t> request,
+                                    const net::UdpPeer& peer,
+                                    std::vector<std::uint8_t>& response) {
+      return handle_query(request, peer, response, Transport::kTcp);
+    };
+    // Same port number as the resolved UDP socket: TC retries need no
+    // out-of-band port discovery.
+    if (!tcp_.start(config_.udp.host, udp_.port(), tcp_handler)) {
+      error_ = "tcp: " + tcp_.error();
+      udp_.stop();
+      return false;
+    }
+  }
+  heartbeat_.beat();
+  return true;
+}
+
+void WireFrontend::stop() {
+  tcp_.stop();
+  udp_.stop();
+}
+
+WireFrontendStats WireFrontend::stats() const noexcept {
+  WireFrontendStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.udp_queries = udp_queries_.load(std::memory_order_relaxed);
+  stats.tcp_queries = tcp_queries_.load(std::memory_order_relaxed);
+  stats.formerr = formerr_.load(std::memory_order_relaxed);
+  stats.notimp = notimp_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.truncated = truncated_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+SimTime WireFrontend::live_timestamp() const noexcept {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count();
+  return config_.day_start +
+         std::min<SimTime>(static_cast<SimTime>(elapsed), kSecondsPerDay - 1);
+}
+
+bool WireFrontend::handle_query(std::span<const std::uint8_t> request,
+                                const net::UdpPeer& peer,
+                                std::vector<std::uint8_t>& response,
+                                Transport transport) {
+  try {
+    if (request.size() < kWireHeaderSize) {
+      // Not even a header to echo: silent drop, like real servers.
+      bump(dropped_, dropped_metric_);
+      return false;
+    }
+    const std::uint16_t id =
+        static_cast<std::uint16_t>((request[0] << 8) | request[1]);
+    const bool rd = (request[2] & 0x01) != 0;
+
+    auto message = decode_message(request);
+    if (!message) {
+      // Truncated sections, label overruns, compression loops, junk: the
+      // decoder is non-throwing, so the worst malformed input costs is a
+      // FORMERR round trip.
+      bump(formerr_, formerr_metric_);
+      response = encode_message(make_skeleton(id, rd, RCode::FormErr));
+      return true;
+    }
+    if (message->header.qr) {
+      // A response, not a query; answering would loop two servers forever.
+      bump(dropped_, dropped_metric_);
+      return false;
+    }
+    if (message->header.opcode != 0) {
+      bump(notimp_, notimp_metric_);
+      response = encode_message(make_skeleton(id, rd, RCode::NotImp));
+      return true;
+    }
+    if (message->questions.size() != 1) {
+      bump(formerr_, formerr_metric_);
+      response = encode_message(make_skeleton(id, rd, RCode::FormErr));
+      return true;
+    }
+
+    SimTime ts = 0;
+    std::uint64_t client_id = 0;
+    bool have_meta = false;
+    if (config_.allow_replay_meta) {
+      if (const auto meta = net::extract_replay_meta(*message)) {
+        ts = meta->ts;
+        client_id = meta->client_id;
+        have_meta = true;
+      }
+    }
+    if (!have_meta) {
+      ts = live_timestamp();
+      client_id = client_id_for_peer(peer);
+    }
+
+    DnsMessage reply = make_skeleton(id, rd, RCode::NoError);
+    reply.questions.push_back(message->questions.front());
+    {
+      // The cluster, its caches, and its tap observers are single-threaded
+      // by contract; serialize the round trip and copy the zero-copy view
+      // out before releasing (it aliases cluster scratch).
+      const std::lock_guard<std::mutex> lock(cluster_mutex_);
+      heartbeat_.tick();
+      const QueryView view =
+          cluster_.query_view(client_id, reply.questions.front(), ts);
+      reply.header.rcode = view.rcode;
+      reply.answers.assign(view.answers.begin(), view.answers.end());
+    }
+    bump(queries_, queries_metric_);
+    if (transport == Transport::kTcp) {
+      bump(tcp_queries_, tcp_metric_);
+    } else {
+      udp_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    response = encode_message(reply);
+    if (transport == Transport::kUdp &&
+        response.size() > config_.max_udp_payload) {
+      // Classic truncation: header + question only, TC=1; the client
+      // retries over TCP for the full answer.
+      bump(truncated_, truncated_metric_);
+      reply.answers.clear();
+      reply.authority.clear();
+      reply.additional.clear();
+      reply.header.tc = true;
+      response = encode_message(reply);
+    }
+    return true;
+  } catch (const std::exception&) {
+    // encode_message throws only on unparseable A/AAAA rdata; whatever the
+    // cause, a serving thread must never die on one query.
+    bump(dropped_, dropped_metric_);
+    return false;
+  }
+}
+
+}  // namespace dnsnoise

@@ -95,6 +95,11 @@ class Scenario {
 
   TrafficGenerator& traffic() noexcept { return *traffic_; }
   const SyntheticAuthority& authority() const noexcept { return authority_; }
+  /// Mutable authority access for callers that extend the namespace before
+  /// serving it (engine/serve.h authority hooks, CI smoke zones).  Zones
+  /// must be registered before any cluster starts resolving — the cluster
+  /// reads the authority concurrently and lock-free.
+  SyntheticAuthority& authority_mut() noexcept { return authority_; }
   const GroundTruth& truth() const noexcept { return truth_; }
 
   /// Apexes of the Alexa-style popular zones (the non-disposable labeled

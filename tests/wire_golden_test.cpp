@@ -1,0 +1,165 @@
+// The server mode's golden contract (DESIGN.md §14): a mining day whose
+// queries arrive entirely over the UDP socket produces findings
+// byte-identical to the same day driven in-process.
+//
+// The wire path replays the scenario's recorded (ts, client, query) stream
+// through net::DnsWireClient in timestamp order, attaching replay metadata
+// so the frontend feeds RdnsCluster::query_view the exact same arguments
+// the in-process drive loop passes.  Everything downstream — tap capture,
+// tree, CHR, labeling, training, parallel mining, evaluation — then runs
+// unchanged, so any fingerprint divergence localizes to the wire layer.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/parallel_miner.h"
+#include "miner/pipeline.h"
+#include "net/udp_client.h"
+
+namespace dnsnoise {
+namespace {
+
+ScenarioScale wire_scale() {
+  ScenarioScale scale;
+  scale.queries_per_day = 12'000;
+  scale.client_count = 800;
+  scale.population_scale = 0.35;
+  scale.seed = 20'261'977;
+  return scale;
+}
+
+void append_num(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+std::string findings_fingerprint(
+    const std::vector<DisposableZoneFinding>& findings) {
+  std::string out;
+  for (const DisposableZoneFinding& f : findings) {
+    out += f.zone;
+    out += '|';
+    out += std::to_string(f.depth);
+    out += '|';
+    out += std::to_string(f.group_size);
+    out += '|';
+    append_num(out, f.confidence);
+    for (const double v : f.features.as_array()) {
+      out += '|';
+      append_num(out, v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string capture_fingerprint(const DayCapture& capture) {
+  std::string out;
+  out += "tree:" + std::to_string(capture.tree().node_count()) + "/" +
+         std::to_string(capture.tree().black_count());
+  out += " chr:" + std::to_string(capture.chr().unique_rrs());
+  out += " uniq:" + std::to_string(capture.unique_queried()) + "/" +
+         std::to_string(capture.unique_resolved());
+  out += " below:" + std::to_string(capture.below_series().sum_total()) + "/" +
+         std::to_string(capture.below_series().sum_nxdomain());
+  out += " above:" + std::to_string(capture.above_series().sum_total()) + "/" +
+         std::to_string(capture.above_series().sum_nxdomain());
+  return out;
+}
+
+struct RecordedQuery {
+  SimTime ts;
+  std::uint64_t client;
+  std::string qname;
+  RRType qtype;
+};
+
+TEST(WireGolden, SocketDayMatchesInProcessDayByteForByte) {
+  const ScenarioDate date = ScenarioDate::kSep13;
+  const std::int64_t day_index = scenario_day_index(date);
+  PipelineOptions options;
+  options.scale = wire_scale();
+  options.cluster.server_count = 2;
+
+  // Record the day's query stream from a scratch scenario.  Same (date,
+  // scale) => the generator emits the identical stream in every path.
+  std::vector<RecordedQuery> stream;
+  {
+    Scenario recorder(date, options.scale);
+    recorder.traffic().run_day(
+        day_index, [&stream](SimTime ts, std::uint64_t client,
+                             const QuerySpec& query) {
+          stream.push_back({ts, client, query.qname, query.qtype});
+        });
+  }
+  ASSERT_GT(stream.size(), 1000u);
+
+  // Path A: classic in-process pipeline.
+  Scenario in_process(date, options.scale);
+  DayCapture capture_a(options.capture);
+  simulate_day(in_process, capture_a, options, day_index);
+  const MiningDayResult result_a =
+      finish_mining_day(capture_a, in_process, options);
+  ASSERT_TRUE(result_a.ok()) << result_a.error;
+
+  // Path B: same day, every query a real RFC 1035 datagram.
+  DnsServerOptions server;
+  server.socket_shards = 2;
+  MiningSession session;
+  session.scale(options.scale)
+      .cluster(options.cluster)
+      .threads(2)
+      .enable_dns_server(true, 0, server);
+  const auto day = session.serve(date);
+  ASSERT_NE(day, nullptr);
+  ASSERT_TRUE(day->ok()) << day->error();
+
+  net::DnsWireClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", day->udp_port(), day->tcp_port()));
+  std::uint16_t id = 1;
+  std::size_t replayed = 0;
+  for (const RecordedQuery& q : stream) {
+    const auto qname = DomainName::parse(q.qname);
+    if (!qname) continue;  // the drive loop skips unparseable names too
+    DnsMessage query = DnsMessage::make_query(id++, *qname, q.qtype);
+    net::attach_replay_meta(query, {.ts = q.ts, .client_id = q.client});
+    const auto result = client.query(query, /*timeout_ms=*/5000);
+    ASSERT_TRUE(result.has_value())
+        << "query " << replayed << " (" << q.qname
+        << ") failed: " << client.error();
+    ++replayed;
+  }
+  EXPECT_EQ(day->frontend().stats().queries, replayed);
+  const MiningDayResult result_b = day->finish();
+  ASSERT_TRUE(result_b.ok()) << result_b.error;
+
+  // The whole observable surface must match, byte for byte.
+  EXPECT_EQ(capture_fingerprint(capture_a),
+            capture_fingerprint(day->capture()));
+  EXPECT_EQ(findings_fingerprint(result_a.findings),
+            findings_fingerprint(result_b.findings));
+  EXPECT_FALSE(result_a.findings.empty());
+  EXPECT_EQ(result_a.aggregates.unique_queried,
+            result_b.aggregates.unique_queried);
+  EXPECT_EQ(result_a.aggregates.unique_resolved,
+            result_b.aggregates.unique_resolved);
+  EXPECT_EQ(result_a.aggregates.disposable_queried,
+            result_b.aggregates.disposable_queried);
+  EXPECT_EQ(result_a.aggregates.disposable_resolved,
+            result_b.aggregates.disposable_resolved);
+  EXPECT_EQ(result_a.evaluation.true_positive_findings,
+            result_b.evaluation.true_positive_findings);
+  EXPECT_EQ(result_a.evaluation.false_positive_findings,
+            result_b.evaluation.false_positive_findings);
+}
+
+TEST(WireGolden, ServeWithoutEnableReturnsNull) {
+  MiningSession session;
+  EXPECT_EQ(session.serve(ScenarioDate::kFeb01), nullptr);
+}
+
+}  // namespace
+}  // namespace dnsnoise

@@ -20,7 +20,16 @@ exit 0 so fresh branches don't need one.  A missing or malformed
 *current* file is always an error (exit 2): that means the benchmark
 itself broke, and skipping would silently disable the gate.  Likewise a
 current snapshot with no gated gauges at all while the baseline has some
-exits 2 — an empty comparison must not read as a pass.
+exits 2 — an empty comparison must not read as a pass — and so does a
+run where current and baseline share *zero* gauge names: every
+comparison would be a "not gating" note, which must not count as green.
+
+``--floor NAME=VALUE`` (repeatable) adds an absolute lower bound on a
+current gauge, independent of the baseline ratio.  Relative thresholds
+absorb slow CI machines, but a served-queries bench that collapses to a
+crawl should fail even against a generous baseline; the floor is the
+backstop.  A floor naming a gauge the current run did not produce is
+exit 2 — the bench stopped emitting the gauge, not a pass.
 
 Exit codes: 0 ok/skipped, 1 regression found, 2 missing/malformed input.
 """
@@ -74,11 +83,32 @@ def main():
         help="absolute allocs/query allowance before the growth ratio is "
         "judged, so ~zero baselines don't flag on noise (default 0.05)",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="absolute lower bound on a current gauge, judged in addition "
+        "to the baseline ratio (repeatable); a floor whose gauge is "
+        "absent from the current run is an error",
+    )
     args = parser.parse_args()
+
+    floors = {}
+    for spec in args.floor:
+        name, sep, value = spec.partition("=")
+        try:
+            if not sep:
+                raise ValueError("expected NAME=VALUE")
+            floors[name] = float(value)
+        except ValueError as err:
+            print(f"error: bad --floor {spec!r}: {err}")
+            return 2
 
     try:
         current = load_gauges(args.current, "_per_sec")
         current_allocs = load_gauges(args.current, "allocs_per_query")
+        current_all = load_gauges(args.current, "")
     except FileNotFoundError:
         print(f"error: current snapshot {args.current} not found "
               "(did the benchmark run fail before writing it?)")
@@ -106,8 +136,28 @@ def main():
               f"{len(baseline) + len(baseline_allocs)}; the benchmark "
               "output changed shape or was truncated")
         return 2
+    matched = (set(baseline) & set(current)) | (set(baseline_allocs) &
+                                                set(current_allocs))
+    if not matched:
+        print(f"error: current snapshot {args.current} and baseline "
+              f"{args.baseline} share no gauge names; every comparison "
+              "would be skipped, which must not read as a pass")
+        return 2
 
     regressions = []
+    for name in sorted(floors):
+        if name not in current_all:
+            print(f"error: --floor gauge {name} is absent from the "
+                  f"current snapshot {args.current}; the benchmark "
+                  "stopped emitting it")
+            return 2
+        value, floor = current_all[name], floors[name]
+        status = "ok"
+        if value < floor:
+            status = "REGRESSION"
+            regressions.append(
+                f"{name} ({value:,.0f} below absolute floor {floor:,.0f})")
+        print(f"{status:>10}  {name}: {value:,.0f} (floor {floor:,.0f})")
     for name in sorted(baseline):
         if name not in current:
             print(f"note: {name} missing from current run (not gating)")

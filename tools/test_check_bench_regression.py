@@ -147,6 +147,68 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertIn("missing from current", out)
         self.assertIn("is new", out)
 
+    def test_zero_name_overlap_errors(self):
+        # Both sides have gated gauges but none in common: every check
+        # would be a "not gating" note, which must not read as a pass.
+        current = self.path("current.json",
+                            snapshot({"b.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"c.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 2, out)
+        self.assertIn("share no gauge names", out)
+
+    def test_floor_pass(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline,
+                                  "--floor", "a.events_per_sec=500")
+        self.assertEqual(code, 0, out)
+        self.assertIn("floor", out)
+
+    def test_floor_violation_fails(self):
+        # The ratio passes (current > baseline) but the absolute floor
+        # still fails: floors are independent of the baseline.
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline,
+                                  "--floor", "a.events_per_sec=5000")
+        self.assertEqual(code, 1, out)
+        self.assertIn("below absolute floor", out)
+
+    def test_floor_gates_unsuffixed_gauges_too(self):
+        current = self.path(
+            "current.json",
+            snapshot({"a.events_per_sec": 1000.0, "a.answered": 3.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline,
+                                  "--floor", "a.answered=10")
+        self.assertEqual(code, 1, out)
+
+    def test_floor_on_missing_gauge_errors(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        code, out = self.run_gate(current, baseline,
+                                  "--floor", "gone.events_per_sec=1")
+        self.assertEqual(code, 2, out)
+        self.assertIn("absent from the current snapshot", out)
+
+    def test_malformed_floor_spec_errors(self):
+        current = self.path("current.json",
+                            snapshot({"a.events_per_sec": 1000.0}))
+        baseline = self.path("baseline.json",
+                             snapshot({"a.events_per_sec": 900.0}))
+        for spec in ("no-equals", "a.events_per_sec=not-a-number"):
+            code, out = self.run_gate(current, baseline, "--floor", spec)
+            self.assertEqual(code, 2, (spec, out))
+
     def test_null_gauges_are_ignored(self):
         # A NaN gauge serializes as JSON null; the gate must not crash
         # and must not gate on it.
