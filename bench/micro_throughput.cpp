@@ -24,10 +24,12 @@
 #include "engine/parallel_miner.h"
 #include "features/chr.h"
 #include "features/domain_tree.h"
+#include "features/extractor.h"
 #include "miner/pipeline.h"
 #include "netio/capture.h"
 #include "resolver/lru_cache.h"
 #include "util/entropy.h"
+#include "util/simd/kernels.h"
 #include "workload/label_gen.h"
 
 // ---------------------------------------------------------------------------
@@ -185,8 +187,66 @@ void BM_ShannonEntropy(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(shannon_entropy(label));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ShannonEntropy);
+
+void BM_BatchEntropy(benchmark::State& state) {
+  // entropy_many over 10k interned names: the batched kernel walks the
+  // arena in intern order with one reused histogram workspace.  Zero
+  // steady-state allocations.
+  Rng rng(2);
+  NameTable table;
+  std::vector<NameId> ids;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(table.intern(rng.hex_string(16) + ".avqs.example.com"));
+  }
+  std::vector<double> out(ids.size());
+  const std::uint64_t allocs_before = alloc_count();
+  for (auto _ : state) {
+    entropy_many(ids, table, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const auto items =
+      static_cast<std::uint64_t>(state.iterations()) * ids.size();
+  report_allocs_per_query(state, allocs_before, items);
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_BatchEntropy);
+
+void BM_GroupFeatures(benchmark::State& state) {
+  // One Algorithm-1 group classification input: 5000 disposable-looking
+  // names under one zone, with a CHR entry per name.  Measures the full
+  // SoA extraction (gather + dedup + batched entropy + CHR reduce) with a
+  // reused scratch, items = group members processed.
+  Rng rng(8);
+  DomainNameTree tree;
+  CacheHitRateTracker chr;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::string name = rng.hex_string(16) + ".avqs.example.com";
+    tree.insert(DomainName(name));
+    chr.record_below(name, RRType::A, "10.0.0.1", 300);
+  }
+  const auto zones = tree.effective_2ld_nodes(PublicSuffixList::builtin());
+  if (zones.size() != 1) {
+    state.SkipWithError("expected one effective 2LD");
+    return;
+  }
+  const auto groups = tree.black_descendants_by_depth(*zones[0]);
+  const auto deepest = groups.rbegin();
+  GroupFeatureScratch scratch;
+  const std::uint64_t allocs_before = alloc_count();
+  for (auto _ : state) {
+    const GroupFeatures features = compute_group_features(
+        deepest->second, zones[0]->depth, chr, scratch);
+    benchmark::DoNotOptimize(features.entropy_mean);
+  }
+  const auto items = static_cast<std::uint64_t>(state.iterations()) *
+                     deepest->second.size();
+  report_allocs_per_query(state, allocs_before, items);
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_GroupFeatures);
 
 void BM_TreeInsert(benchmark::State& state) {
   Rng rng(3);
@@ -494,6 +554,19 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   dnsnoise::obs::MetricsRegistry registry;
+  // One startup line + gauges recording which kernel dispatch levels this
+  // run used (0 = scalar, 1 = SSE2, 2 = AVX2), so a bench result can
+  // always be traced back to the code paths that produced it.  The
+  // histogram level differs from the normalize level in auto mode (the
+  // measured per-kernel rule, DESIGN.md §15).
+  const auto level = dnsnoise::kernels::active_level();
+  const auto hist = dnsnoise::kernels::hist_level();
+  std::printf("kernel dispatch level: %s (histograms: %s)\n",
+              dnsnoise::kernels::level_name(level),
+              dnsnoise::kernels::level_name(hist));
+  registry.gauge("bench.kernel.dispatch_level")
+      .set(static_cast<double>(level));
+  registry.gauge("bench.kernel.hist_level").set(static_cast<double>(hist));
   dnsnoise::RegistryReporter reporter(&registry);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -1,95 +1,43 @@
 #include "dns/name.h"
 
-#include <cctype>
 #include <stdexcept>
+
+#include "util/simd/kernels.h"
 
 namespace dnsnoise {
 
-namespace {
-
-bool is_allowed_label_char(char c) noexcept {
-  const auto uc = static_cast<unsigned char>(c);
-  // Hostnames in the wild (and in the paper's Fig. 6 samples) use letters,
-  // digits, hyphens, and underscores; we accept that superset of LDH.
-  return std::isalnum(uc) != 0 || c == '-' || c == '_';
-}
-
-}  // namespace
-
-std::string DomainName::normalize_or_throw(std::string_view text) {
-  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
-  if (text.empty()) return {};
-  if (text.size() > kMaxTextLength) {
-    throw std::invalid_argument("DomainName: name too long");
-  }
-  std::string out;
-  out.reserve(text.size());
-  std::size_t label_len = 0;
-  for (const char c : text) {
-    if (c == '.') {
-      if (label_len == 0) {
-        throw std::invalid_argument("DomainName: empty label");
-      }
-      label_len = 0;
-      out.push_back('.');
-      continue;
-    }
-    if (!is_allowed_label_char(c)) {
-      throw std::invalid_argument("DomainName: invalid character");
-    }
-    if (++label_len > kMaxLabelLength) {
-      throw std::invalid_argument("DomainName: label too long");
-    }
-    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  if (label_len == 0) throw std::invalid_argument("DomainName: empty label");
-  return out;
-}
-
-DomainName::DomainName(std::string_view text)
-    : text_(normalize_or_throw(text)) {
-  index_labels();
-}
-
-std::optional<DomainName> DomainName::parse(std::string_view text) {
-  try {
-    return DomainName(text);
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;
-  }
-}
-
-bool DomainName::assign(std::string_view text) {
+// Both parse entry points funnel into scan_into: one pass of the
+// vectorized dot-scan kernel (kernels::normalize_name) classifies,
+// lowercases, and splits 16/32 bytes per step, emitting the label-start
+// offsets directly — the per-character isalnum/tolower loop is gone.
+bool DomainName::scan_into(std::string_view text) {
   if (!text.empty() && text.back() == '.') text.remove_suffix(1);
   text_.clear();
   offsets_.clear();
   if (text.empty()) return true;
   if (text.size() > kMaxTextLength) return false;
-  std::size_t label_len = 0;
-  for (const char c : text) {
-    if (c == '.') {
-      if (label_len == 0) {
-        text_.clear();
-        return false;
-      }
-      label_len = 0;
-      text_.push_back('.');
-      continue;
-    }
-    if (!is_allowed_label_char(c) || ++label_len > kMaxLabelLength) {
-      text_.clear();
-      return false;
-    }
-    text_.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  if (label_len == 0) {
-    text_.clear();
-    return false;
-  }
-  index_labels();
+  char out[kMaxTextLength];
+  std::uint16_t offsets[kMaxTextLength / 2 + 2];
+  const kernels::NameScan scan = kernels::normalize_name(text, out, offsets);
+  if (!scan.ok) return false;
+  text_.assign(out, text.size());
+  offsets_.assign(offsets, offsets + scan.label_count);
   return true;
 }
+
+DomainName::DomainName(std::string_view text) {
+  if (!scan_into(text)) {
+    throw std::invalid_argument("DomainName: malformed name");
+  }
+}
+
+std::optional<DomainName> DomainName::parse(std::string_view text) {
+  DomainName name;
+  if (!name.scan_into(text)) return std::nullopt;
+  return name;
+}
+
+bool DomainName::assign(std::string_view text) { return scan_into(text); }
 
 void DomainName::index_labels() {
   offsets_.clear();

@@ -133,7 +133,12 @@ class DomainName {
   std::vector<std::uint16_t> offsets_;
 
   void index_labels();
-  static std::string normalize_or_throw(std::string_view text);
+
+  /// One-pass normalize via the vectorized dot-scan kernel: validates,
+  /// lowercases, and indexes labels together.  Returns false (leaving the
+  /// name empty) on malformed input; reuses existing capacity, so
+  /// steady-state re-assign is allocation-free.
+  bool scan_into(std::string_view text);
 };
 
 }  // namespace dnsnoise

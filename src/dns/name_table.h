@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -168,5 +169,14 @@ class NameTable {
   Pool labels_;
   bool track_labels_;
 };
+
+/// Batched Shannon entropy over interned names: out[i] = entropy of
+/// table.name(ids[i]).  Ids in first-intern order walk the append-only
+/// arena contiguously, so the batch streams the interned bytes front to
+/// back instead of pointer-chasing one name at a time; the histogram
+/// workspace is reused across the whole batch (kernels::entropy_many).
+/// Requires out.size() >= ids.size().
+void entropy_many(std::span<const NameId> ids, const NameTable& table,
+                  std::span<double> out) noexcept;
 
 }  // namespace dnsnoise

@@ -47,11 +47,33 @@ struct GroupFeatures {
   }
 };
 
+/// Reusable flat buffers for compute_group_features.  The extraction is
+/// structured as SoA passes — gather adjacent nodes, dedup labels, batch
+/// the entropy kernel over the label array, then flat CHR arrays — and
+/// this scratch keeps those arrays' capacity alive across the groups of a
+/// mining walk so steady-state extraction allocates nothing.  One scratch
+/// per worker thread (never shared concurrently).
+struct GroupFeatureScratch {
+  std::vector<const DomainNameTree::Node*> adjacent;
+  std::vector<std::string_view> labels;
+  std::vector<double> entropies;
+  std::vector<double> chr_rates;
+  std::vector<std::uint64_t> chr_weights;
+  std::vector<std::uint32_t> chr_order;
+  std::string name;
+};
+
 /// Computes the features of the group of black nodes `group` (all at the
 /// same depth) under the zone node at depth `zone_depth`.
 /// `chr` supplies per-RR query/miss counts for the same day.
 GroupFeatures compute_group_features(
     std::span<DomainNameTree::Node* const> group, std::size_t zone_depth,
     const CacheHitRateTracker& chr);
+
+/// Scratch-reusing overload for hot callers (the miner walk); identical
+/// output, zero steady-state allocations.
+GroupFeatures compute_group_features(
+    std::span<DomainNameTree::Node* const> group, std::size_t zone_depth,
+    const CacheHitRateTracker& chr, GroupFeatureScratch& scratch);
 
 }  // namespace dnsnoise

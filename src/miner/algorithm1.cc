@@ -34,13 +34,17 @@ void DisposableZoneMiner::mine_zone(
     zone_span.annotate(DomainNameTree::full_name(zone), 0,
                        obs::TraceOutcome::kNone, zone.depth);
   }
-  mine_zone_walk(tree, zone, chr, out);
+  // One scratch per top-level walk: the extraction buffers' capacity
+  // survives across every group of this zone subtree, and each parallel
+  // worker owns its own mine_zone call (never shared across threads).
+  GroupFeatureScratch scratch;
+  mine_zone_walk(tree, zone, chr, out, scratch);
 }
 
 void DisposableZoneMiner::mine_zone_walk(
     DomainNameTree& tree, DomainNameTree::Node& zone,
-    const CacheHitRateTracker& chr,
-    std::vector<DisposableZoneFinding>& out) const {
+    const CacheHitRateTracker& chr, std::vector<DisposableZoneFinding>& out,
+    GroupFeatureScratch& scratch) const {
   if (zones_visited_ != nullptr) zones_visited_->add();
 
   // Line 1-3: stop when the zone has no black descendants.
@@ -55,7 +59,7 @@ void DisposableZoneMiner::mine_zone_walk(
     GroupFeatures features;
     {
       const obs::StageTimer span(features_timer_);
-      features = compute_group_features(nodes, zone.depth, chr);
+      features = compute_group_features(nodes, zone.depth, chr, scratch);
     }
     if (groups_classified_ != nullptr) groups_classified_->add();
     if (trace_stream_ != nullptr) {
@@ -86,7 +90,7 @@ void DisposableZoneMiner::mine_zone_walk(
 
   // Lines 15-17: recurse into child zones (sorted = legacy map order).
   for (DomainNameTree::Node* child : zone.children()) {
-    mine_zone_walk(tree, *child, chr, out);
+    mine_zone_walk(tree, *child, chr, out, scratch);
   }
 }
 

@@ -86,7 +86,8 @@ class DisposableZoneMiner {
   MinerConfig config_;
   void mine_zone_walk(DomainNameTree& tree, DomainNameTree::Node& zone,
                       const CacheHitRateTracker& chr,
-                      std::vector<DisposableZoneFinding>& out) const;
+                      std::vector<DisposableZoneFinding>& out,
+                      GroupFeatureScratch& scratch) const;
 
   // Metric handles resolved once at construction; all null when
   // config_.metrics is null.

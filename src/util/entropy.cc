@@ -1,24 +1,15 @@
 #include "util/entropy.h"
 
-#include <array>
 #include <cmath>
-#include <cstddef>
-#include <cstdint>
+
+#include "util/simd/kernels.h"
 
 namespace dnsnoise {
 
 double shannon_entropy(std::string_view s) noexcept {
-  if (s.empty()) return 0.0;
-  std::array<std::uint32_t, 256> counts{};
-  for (const char c : s) ++counts[static_cast<unsigned char>(c)];
-  const auto n = static_cast<double>(s.size());
-  double h = 0.0;
-  for (const std::uint32_t count : counts) {
-    if (count == 0) continue;
-    const double p = static_cast<double>(count) / n;
-    h -= p * std::log2(p);
-  }
-  return h;
+  // Histogram + shared LUT reducer at the runtime-dispatched kernel level
+  // (scalar/SSE2/AVX2); all levels are bit-identical (DESIGN.md §15).
+  return kernels::shannon_entropy(s);
 }
 
 double normalized_entropy(std::string_view s) noexcept {

@@ -1,0 +1,140 @@
+// dnsnoise::kernels — vectorized batch kernels for the mining hot path.
+//
+// The LAD miner spends its time in three embarrassingly data-parallel
+// loops: per-label character histograms (Shannon entropy, Section V-A2),
+// batched entropy over interned label/name arrays, and the dot-scan that
+// normalizes every DomainName the capture path decodes.  This layer gives
+// each of them an SSE2 and an AVX2 kernel behind one runtime-dispatched
+// API with a portable scalar fallback.
+//
+// Determinism contract (DESIGN.md §15): a kernel may vectorize only the
+// *integer* part of the work — byte counts, presence bitmaps, class
+// masks, label offsets — which is bit-exact regardless of lane width.
+// Every floating-point reduction (entropy_from_hist) is shared scalar
+// code compiled once, summing in a fixed order (ascending byte value), so
+// scalar, SSE2, and AVX2 produce bit-identical doubles by construction.
+// The parity tests in tests/simd_kernels_test.cpp enforce this across
+// every available dispatch level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dnsnoise::kernels {
+
+// ---------------------------------------------------------------------------
+// Runtime CPU dispatch
+
+enum class DispatchLevel : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable level name ("scalar", "sse2", "avx2").
+const char* level_name(DispatchLevel level) noexcept;
+
+/// The level all un-suffixed kernels run at.  Resolved once on first use:
+/// the best level the CPU supports, clamped by the DNSNOISE_KERNEL_LEVEL
+/// environment variable (scalar|sse2|avx2) and by builds configured with
+/// -DDNSNOISE_DISABLE_SIMD=ON (scalar only).
+DispatchLevel active_level() noexcept;
+
+/// True if `level` can run on this build + CPU (kScalar always can).
+bool level_available(DispatchLevel level) noexcept;
+
+/// Forces the active level (tests/benches).  Returns false and leaves the
+/// level unchanged if `level` is unavailable.  A forced level also applies
+/// to the histogram kernels (see hist_level).  Not safe to call while
+/// other threads are inside kernels.
+bool set_active_level(DispatchLevel level) noexcept;
+
+/// The level hist_build / shannon_entropy / entropy_many actually run at.
+/// When a level was forced (DNSNOISE_KERNEL_LEVEL or set_active_level)
+/// this is the forced level; otherwise it is kScalar regardless of CPU:
+/// the broadcast-compare histograms measure *slower* than the scalar
+/// counting loop at DNS label/name sizes, where the distinct-symbol count
+/// is close to the length (measured rule, DESIGN.md §15).  The normalize
+/// kernel always runs at active_level(), where vectors win.
+DispatchLevel hist_level() noexcept;
+
+// ---------------------------------------------------------------------------
+// Character histograms
+//
+// A CharHist is a reusable workspace: 256 byte counts plus a 256-bit
+// presence bitmap that makes both the entropy reduction and the cleanup
+// O(distinct symbols) instead of O(256).  The intended cycle is
+// hist_init once, then per string: hist_build -> entropy_from_hist ->
+// hist_reset.
+
+struct CharHist {
+  std::uint32_t counts[256];
+  std::uint64_t present[4];  // bit c set <=> counts[c] > 0
+};
+
+/// Zeroes the whole workspace (once per workspace, not per string).
+void hist_init(CharHist& hist) noexcept;
+
+/// Fills counts/present for the bytes of `s`.  Requires a clean workspace
+/// (fresh hist_init or hist_reset); does not accumulate across strings.
+/// All dispatch levels produce identical counts and bitmap.
+void hist_build(CharHist& hist, std::string_view s) noexcept;
+
+/// hist_build at an explicit level (parity tests and benches).
+void hist_build_at(DispatchLevel level, CharHist& hist,
+                   std::string_view s) noexcept;
+
+/// Clears only the buckets hist_build touched (O(distinct symbols)).
+void hist_reset(CharHist& hist) noexcept;
+
+// ---------------------------------------------------------------------------
+// Shannon entropy
+//
+// entropy_from_hist is the *shared* floating-point reducer: it walks the
+// presence bitmap in ascending byte order and computes
+//   H = log2(n) - (sum_c count_c * log2(count_c)) / n
+// with the count-indexed k*log2(k) lookup table (counts above the table
+// fall back to direct log2).  One-symbol strings return exactly 0 and the
+// result is clamped at 0 so rounding can never produce a negative
+// entropy.
+
+/// Entropy (bits/char) from a built histogram; `total` is the string
+/// length the histogram was built from.
+double entropy_from_hist(const CharHist& hist, std::uint64_t total) noexcept;
+
+/// One-shot entropy of `s` at the active dispatch level.
+double shannon_entropy(std::string_view s) noexcept;
+
+/// One-shot entropy at an explicit level (parity tests).
+double shannon_entropy_at(DispatchLevel level, std::string_view s) noexcept;
+
+/// Batched entropy: out[i] = entropy of strings[i].  One workspace is
+/// reused across the whole batch, so per-string setup cost vanishes;
+/// views into an interned arena (NameTable, DomainNameTree labels) are
+/// walked in storage order.  Requires out.size() >= strings.size().
+void entropy_many(std::span<const std::string_view> strings,
+                  std::span<double> out) noexcept;
+
+// ---------------------------------------------------------------------------
+// Domain-name normalization scan
+//
+// The vectorized replacement for DomainName's per-character parse loop:
+// classifies 16/32 bytes per step (allowed LDH+underscore set, dots,
+// uppercase), lowercases into `out`, and emits label-start offsets while
+// validating label lengths (1..63) exactly like the scalar parser.
+
+struct NameScan {
+  bool ok = false;               // false: bad char, empty label, label > 63
+  std::uint16_t label_count = 0; // offsets written when ok
+};
+
+/// Scans `in` (must be non-empty, <= 253 bytes, caller already stripped
+/// any trailing dot), writing in.size() lowercased bytes to `out` and
+/// label-start byte offsets to `offsets` (capacity >= 128).  On failure
+/// the contents of out/offsets are unspecified.
+NameScan normalize_name(std::string_view in, char* out,
+                        std::uint16_t* offsets) noexcept;
+
+/// normalize_name at an explicit level (parity tests).
+NameScan normalize_name_at(DispatchLevel level, std::string_view in, char* out,
+                           std::uint16_t* offsets) noexcept;
+
+}  // namespace dnsnoise::kernels

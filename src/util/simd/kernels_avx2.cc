@@ -1,0 +1,117 @@
+// AVX2 kernels: 32-byte character classification for the name dot-scan
+// and broadcast-compare byte histograms (a 63-byte label needs two
+// compares per distinct symbol).
+//
+// Integer outputs only — bit-identical to the scalar kernels by
+// construction; the parity tests assert it.
+#include "util/simd/kernels_internal.h"
+
+#if defined(DNSNOISE_KERNELS_X86)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace dnsnoise::kernels::detail {
+
+namespace {
+
+inline std::uint32_t eq_mask(__m256i v, __m256i needle) noexcept {
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(needle, v)));
+}
+
+}  // namespace
+
+void hist_build_avx2(CharHist& hist, std::string_view s) noexcept {
+  const std::size_t n = s.size();
+  if (n == 0) return;
+  if (n > 64) {
+    hist_build_scalar(hist, s);
+    return;
+  }
+  alignas(32) unsigned char buf[64] = {};
+  std::memcpy(buf, s.data(), n);
+  const __m256i v0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+  const __m256i v1 =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(buf + 32));
+  // Mask-consume loop: exactly one broadcast-compare per *distinct*
+  // symbol.  `remaining` holds the not-yet-counted byte positions; each
+  // pass counts every occurrence of the lowest remaining position's byte
+  // and clears them all at once, so there is no per-position branch for
+  // the predictor to miss on high-entropy labels.
+  std::uint64_t remaining =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  while (remaining != 0) {
+    const unsigned char c = buf[std::countr_zero(remaining)];
+    const __m256i needle = _mm256_set1_epi8(static_cast<char>(c));
+    const std::uint64_t eq =
+        static_cast<std::uint64_t>(eq_mask(v0, needle)) |
+        (static_cast<std::uint64_t>(eq_mask(v1, needle)) << 32);
+    const std::uint64_t hits = eq & remaining;
+    remaining ^= hits;
+    hist.counts[c] = static_cast<std::uint32_t>(std::popcount(hits));
+    hist.present[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+}
+
+NameScan normalize_name_avx2(std::string_view in, char* out,
+                             std::uint16_t* offsets) noexcept {
+  const std::size_t n = in.size();
+  offsets[0] = 0;
+  ScanState st;
+  const __m256i low_bit = _mm256_set1_epi8(0x20);
+  const __m256i ch_a = _mm256_set1_epi8('a');
+  const __m256i ch_z = _mm256_set1_epi8('z');
+  const __m256i ch_0 = _mm256_set1_epi8('0');
+  const __m256i ch_9 = _mm256_set1_epi8('9');
+  const __m256i ch_dash = _mm256_set1_epi8('-');
+  const __m256i ch_under = _mm256_set1_epi8('_');
+  const __m256i ch_dot = _mm256_set1_epi8('.');
+  for (std::size_t i = 0; i < n; i += 32) {
+    const std::size_t take = std::min<std::size_t>(32, n - i);
+    alignas(32) char buf[32];
+    __m256i v;
+    if (take == 32) {
+      v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in.data() + i));
+    } else {
+      std::memset(buf, 'a', sizeof(buf));  // pad lanes classify as benign
+      std::memcpy(buf, in.data() + i, take);
+      v = _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+    }
+    const __m256i folded = _mm256_or_si256(v, low_bit);
+    const __m256i alpha = _mm256_and_si256(
+        _mm256_cmpeq_epi8(_mm256_max_epu8(folded, ch_a), folded),
+        _mm256_cmpeq_epi8(_mm256_min_epu8(folded, ch_z), folded));
+    const __m256i digit =
+        _mm256_and_si256(_mm256_cmpeq_epi8(_mm256_max_epu8(v, ch_0), v),
+                         _mm256_cmpeq_epi8(_mm256_min_epu8(v, ch_9), v));
+    const __m256i punct = _mm256_or_si256(_mm256_cmpeq_epi8(v, ch_dash),
+                                          _mm256_cmpeq_epi8(v, ch_under));
+    const __m256i dot = _mm256_cmpeq_epi8(v, ch_dot);
+    const __m256i good = _mm256_or_si256(_mm256_or_si256(alpha, digit),
+                                         _mm256_or_si256(punct, dot));
+    const std::uint32_t valid =
+        take == 32 ? 0xffffffffu : ((1u << take) - 1);
+    const auto good_mask =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(good));
+    if ((good_mask & valid) != valid) return {false, 0};
+    const __m256i lowered =
+        _mm256_or_si256(v, _mm256_and_si256(alpha, low_bit));
+    if (take == 32) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lowered);
+    } else {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(buf), lowered);
+      std::memcpy(out + i, buf, take);
+    }
+    const std::uint32_t dots =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(dot)) & valid;
+    if (!consume_dots(dots, i, offsets, st)) return {false, 0};
+  }
+  return finish_scan(n, st);
+}
+
+}  // namespace dnsnoise::kernels::detail
+
+#endif  // DNSNOISE_KERNELS_X86

@@ -1,0 +1,124 @@
+// SSE2 kernels: 16-byte character classification for the name dot-scan
+// and broadcast-compare byte histograms for short strings.
+//
+// Everything computed here is integer (counts, masks, offsets), so the
+// outputs are bit-identical to the scalar kernels; the parity tests
+// assert exactly that.
+#include "util/simd/kernels_internal.h"
+
+#if defined(DNSNOISE_KERNELS_X86)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace dnsnoise::kernels::detail {
+
+namespace {
+
+inline std::uint32_t eq_mask(__m128i v, __m128i needle) noexcept {
+  return static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(needle, v)));
+}
+
+}  // namespace
+
+void hist_build_sse2(CharHist& hist, std::string_view s) noexcept {
+  const std::size_t n = s.size();
+  if (n == 0) return;
+  // Beyond four vectors the broadcast-compare sweep loses to plain
+  // counting; names cap at 253 bytes, labels at 63, so this covers the
+  // label path entirely and most full names.
+  if (n > 64) {
+    hist_build_scalar(hist, s);
+    return;
+  }
+  alignas(16) unsigned char buf[64] = {};
+  std::memcpy(buf, s.data(), n);
+  const std::size_t chunks = (n + 15) / 16;
+  __m128i v[4];
+  for (std::size_t j = 0; j < chunks; ++j) {
+    v[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(buf + 16 * j));
+  }
+  // Mask-consume loop: exactly one broadcast-compare per *distinct*
+  // symbol.  `remaining` holds the not-yet-counted byte positions; each
+  // pass counts every occurrence of the lowest remaining position's byte
+  // and clears them all at once, so there is no per-position branch for
+  // the predictor to miss on high-entropy labels.
+  std::uint64_t remaining =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  while (remaining != 0) {
+    const unsigned char c = buf[std::countr_zero(remaining)];
+    const __m128i needle = _mm_set1_epi8(static_cast<char>(c));
+    std::uint64_t eq = 0;
+    for (std::size_t j = 0; j < chunks; ++j) {
+      eq |= static_cast<std::uint64_t>(eq_mask(v[j], needle)) << (16 * j);
+    }
+    const std::uint64_t hits = eq & remaining;
+    remaining ^= hits;
+    hist.counts[c] = static_cast<std::uint32_t>(std::popcount(hits));
+    hist.present[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+}
+
+NameScan normalize_name_sse2(std::string_view in, char* out,
+                             std::uint16_t* offsets) noexcept {
+  const std::size_t n = in.size();
+  offsets[0] = 0;
+  ScanState st;
+  const __m128i low_bit = _mm_set1_epi8(0x20);
+  const __m128i ch_a = _mm_set1_epi8('a');
+  const __m128i ch_z = _mm_set1_epi8('z');
+  const __m128i ch_0 = _mm_set1_epi8('0');
+  const __m128i ch_9 = _mm_set1_epi8('9');
+  const __m128i ch_dash = _mm_set1_epi8('-');
+  const __m128i ch_under = _mm_set1_epi8('_');
+  const __m128i ch_dot = _mm_set1_epi8('.');
+  for (std::size_t i = 0; i < n; i += 16) {
+    const std::size_t take = std::min<std::size_t>(16, n - i);
+    alignas(16) char buf[16];
+    __m128i v;
+    if (take == 16) {
+      v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.data() + i));
+    } else {
+      std::memset(buf, 'a', sizeof(buf));  // pad lanes classify as benign
+      std::memcpy(buf, in.data() + i, take);
+      v = _mm_load_si128(reinterpret_cast<const __m128i*>(buf));
+    }
+    // Letters via the OR-0x20 fold, digits via unsigned range compares.
+    const __m128i folded = _mm_or_si128(v, low_bit);
+    const __m128i alpha =
+        _mm_and_si128(_mm_cmpeq_epi8(_mm_max_epu8(folded, ch_a), folded),
+                      _mm_cmpeq_epi8(_mm_min_epu8(folded, ch_z), folded));
+    const __m128i digit =
+        _mm_and_si128(_mm_cmpeq_epi8(_mm_max_epu8(v, ch_0), v),
+                      _mm_cmpeq_epi8(_mm_min_epu8(v, ch_9), v));
+    const __m128i punct = _mm_or_si128(_mm_cmpeq_epi8(v, ch_dash),
+                                       _mm_cmpeq_epi8(v, ch_under));
+    const __m128i dot = _mm_cmpeq_epi8(v, ch_dot);
+    const __m128i good =
+        _mm_or_si128(_mm_or_si128(alpha, digit), _mm_or_si128(punct, dot));
+    const std::uint32_t valid = take == 16 ? 0xffffu : ((1u << take) - 1);
+    const auto good_mask =
+        static_cast<std::uint32_t>(_mm_movemask_epi8(good));
+    if ((good_mask & valid) != valid) return {false, 0};
+    // Lowercase by setting bit 5 on letter lanes only.
+    const __m128i lowered =
+        _mm_or_si128(v, _mm_and_si128(alpha, low_bit));
+    if (take == 16) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), lowered);
+    } else {
+      _mm_store_si128(reinterpret_cast<__m128i*>(buf), lowered);
+      std::memcpy(out + i, buf, take);
+    }
+    const std::uint32_t dots =
+        static_cast<std::uint32_t>(_mm_movemask_epi8(dot)) & valid;
+    if (!consume_dots(dots, i, offsets, st)) return {false, 0};
+  }
+  return finish_scan(n, st);
+}
+
+}  // namespace dnsnoise::kernels::detail
+
+#endif  // DNSNOISE_KERNELS_X86
