@@ -18,6 +18,7 @@
 #include "bench_common.h"
 #include "dns/wire.h"
 #include "net/udp_client.h"
+#include "obs/latency.h"
 #include "resolver/wire_frontend.h"
 
 namespace dnsnoise {
@@ -116,18 +117,35 @@ int main(int argc, char** argv) {
 
   std::uint64_t answered = 0;
   std::uint64_t lost = 0;
+  // Per-query RTT from the actual send, matched by DNS id (the stream
+  // assigns id = i mod 65536; the window keeps collisions impossible).
+  // This is a *closed-loop windowed* measurement: it reports how fast
+  // answered queries came back, not queueing under a fixed offered rate —
+  // fig_loadgen's open loop covers that.
+  obs::LatencyRecorder rtt;
+  auto& rtt_shard = rtt.shard(0);
+  std::vector<std::chrono::steady_clock::time_point> send_time(65536);
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t sent = 0;
   std::size_t outstanding = 0;
   while (answered + lost < args.queries) {
     while (sent < args.queries && outstanding < args.window) {
+      send_time[sent % 65536] = std::chrono::steady_clock::now();
       client.send(wire[sent]);
       ++sent;
       ++outstanding;
     }
     if (outstanding == 0) break;
-    if (client.receive(1000).has_value()) {
+    if (const auto resp = client.receive(1000)) {
       ++answered;
+      if (resp->size() >= 2) {
+        const std::uint16_t id =
+            static_cast<std::uint16_t>(((*resp)[0] << 8) | (*resp)[1]);
+        rtt_shard.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - send_time[id])
+                .count()));
+      }
     } else {
       // Window's worth of silence: count everything in flight as lost.
       lost += outstanding;
@@ -154,10 +172,19 @@ int main(int argc, char** argv) {
       "served queries feed the same tap/metrics path as in-process traffic",
       "server.queries == answered + lost-in-flight, zero crashes");
 
+  const obs::LatencySnapshot rtts = rtt.snapshot();
+  const obs::LatencyPercentiles pct = rtts.percentiles_seconds();
+  std::printf("  closed-loop RTT: p50=%.6fs p99=%.6fs (window=%zu)\n", pct.p50,
+              pct.p99, args.window);
+
   registry.gauge("server.wire_queries_per_sec").set(qps);
   registry.gauge("server.wire_answered").set(static_cast<double>(answered));
   registry.gauge("server.wire_lost").set(static_cast<double>(lost));
   registry.gauge("server.wire_shards").set(static_cast<double>(shard_count));
+  // Closed-loop (windowed) RTTs — lower-is-better gated; see fig_loadgen
+  // for the open-loop, coordinated-omission-free view.
+  registry.gauge("server.wire_p50_latency_seconds").set(pct.p50);
+  registry.gauge("server.wire_p99_latency_seconds").set(pct.p99);
   const std::string path = bench::write_bench_json("server", registry);
   if (!path.empty()) std::printf("  wrote %s\n", path.c_str());
 

@@ -119,8 +119,10 @@ MiningSession& MiningSession::enable_dns_server(
 
 std::unique_ptr<ServedMiningDay> MiningSession::serve(ScenarioDate date) {
   if (!server_enabled_) return nullptr;
+  // Handing the telemetry server over publishes the day's slow-query log
+  // on GET /slowlog next to /metrics (no-op when telemetry is off).
   return std::make_unique<ServedMiningDay>(date, options_, threads_,
-                                           server_options_);
+                                           server_options_, telemetry_);
 }
 
 void MiningSession::restart_telemetry() {

@@ -25,13 +25,14 @@ void drive_warmup(TrafficGenerator& traffic, RdnsCluster& cluster,
 
 }  // namespace
 
-ServedMiningDay::ServedMiningDay(ScenarioDate date,
-                                 const PipelineOptions& options,
-                                 std::size_t threads,
-                                 const DnsServerOptions& server)
+ServedMiningDay::ServedMiningDay(
+    ScenarioDate date, const PipelineOptions& options, std::size_t threads,
+    const DnsServerOptions& server,
+    std::shared_ptr<obs::TelemetryServer> telemetry)
     : options_(options),
       threads_(threads == 0 ? 1 : threads),
       day_index_(scenario_day_index(date)),
+      telemetry_(std::move(telemetry)),
       scenario_(date, options.scale),
       capture_(options.capture) {
   // Extra zones must exist before the cluster takes its (const, lock-free)
@@ -75,9 +76,25 @@ ServedMiningDay::ServedMiningDay(ScenarioDate date,
   frontend_config.metrics = options_.metrics;
   frontend_ = std::make_unique<WireFrontend>(*cluster_, frontend_config);
   if (!frontend_->start()) error_ = frontend_->error();
+  if (telemetry_ != nullptr && error_.empty()) {
+    // The source closes over this day's frontend; detach_slowlog() runs
+    // before the frontend is destroyed (finish/destructor), so the
+    // telemetry server never scrapes a dangling pointer.
+    WireFrontend* frontend = frontend_.get();
+    telemetry_->set_slowlog_source(
+        [frontend]() { return frontend->slowlog_json(); });
+  }
+}
+
+void ServedMiningDay::detach_slowlog() {
+  if (telemetry_ != nullptr) {
+    telemetry_->set_slowlog_source({});
+    telemetry_.reset();
+  }
 }
 
 ServedMiningDay::~ServedMiningDay() {
+  detach_slowlog();
   frontend_->stop();
   if (attached_) {
     cluster_->flush_taps();
@@ -99,7 +116,12 @@ MiningDayResult ServedMiningDay::finish() {
     return result;
   }
   // Quiesce the serving threads before touching the tap; queries arriving
-  // after stop() are no longer answered (clients see a timeout).
+  // after stop() are no longer answered (clients see a timeout).  Flush
+  // the final partial latency window first — the session registry is
+  // alive here, and stop() itself never touches it (an abandoned,
+  // unfinished day may be destroyed after its registry).
+  detach_slowlog();
+  frontend_->flush_latency_metrics();
   frontend_->stop();
   cluster_->flush_taps();
   capture_.detach(*cluster_);

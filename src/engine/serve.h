@@ -24,6 +24,7 @@
 #include <string>
 
 #include "miner/pipeline.h"
+#include "obs/telemetry_server.h"
 #include "resolver/wire_frontend.h"
 
 namespace dnsnoise {
@@ -60,8 +61,11 @@ class ServedMiningDay {
   /// Builds scenario + cluster, runs the in-process warmup day, attaches
   /// the capture, and starts serving.  On failure ok() is false and
   /// error() has the reason; finish() then returns a non-ok result.
+  /// With `telemetry` set, the frontend's slow-query log is published on
+  /// GET /slowlog for the day's lifetime (detached on finish/destroy).
   ServedMiningDay(ScenarioDate date, const PipelineOptions& options,
-                  std::size_t threads, const DnsServerOptions& server);
+                  std::size_t threads, const DnsServerOptions& server,
+                  std::shared_ptr<obs::TelemetryServer> telemetry = nullptr);
   ~ServedMiningDay();
 
   ServedMiningDay(const ServedMiningDay&) = delete;
@@ -83,12 +87,16 @@ class ServedMiningDay {
   MiningDayResult finish();
 
  private:
+  /// Clears the /slowlog source before the frontend it closes over dies.
+  void detach_slowlog();
+
   PipelineOptions options_;
   std::size_t threads_;
   std::int64_t day_index_;
   std::string error_;
   bool attached_ = false;
   bool finished_ = false;
+  std::shared_ptr<obs::TelemetryServer> telemetry_;
   // Declaration order is load-bearing: the frontend references the
   // cluster (stop threads first), and the cluster's destructor flushes
   // into still-attached taps (capture must outlive it).

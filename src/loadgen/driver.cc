@@ -1,0 +1,355 @@
+#include "loadgen/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "net/udp_client.h"
+#include "util/sim_time.h"
+
+namespace dnsnoise::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kIdSpace = 65536;  // DNS message id width
+
+std::int64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+std::uint16_t response_id(const std::vector<std::uint8_t>& wire) noexcept {
+  return static_cast<std::uint16_t>((wire[0] << 8) | wire[1]);
+}
+
+/// Per-worker query encoder.  Without replay metadata the per-key wire
+/// bytes are encoded once and only the id field is patched per send, so
+/// the send loop does no per-query allocation after the first round.
+class QueryStream {
+ public:
+  QueryStream(const Workload& workload, bool attach_meta, Rng& rng)
+      : workload_(workload),
+        attach_meta_(attach_meta),
+        rng_(rng),
+        names_(workload.config().name_count),
+        templates_(attach_meta ? 0 : workload.config().name_count) {}
+
+  /// Encoded query for the seq-th send (empty on unparseable qname).
+  /// `sched_ns` is the nanosecond offset of the (scheduled) send; it
+  /// becomes the replay-meta sim timestamp in whole seconds.
+  std::span<const std::uint8_t> next(std::uint64_t seq, std::uint16_t id,
+                                     std::uint64_t sched_ns) {
+    const std::size_t key = workload_.next_key(rng_);
+    const DomainName* name = name_of(key);
+    if (name == nullptr) return {};
+    if (!attach_meta_) {
+      std::vector<std::uint8_t>& wire = templates_[key];
+      if (wire.empty()) {
+        wire = encode_message(DnsMessage::make_query(0, *name, RRType::A));
+      }
+      wire[0] = static_cast<std::uint8_t>(id >> 8);
+      wire[1] = static_cast<std::uint8_t>(id & 0xff);
+      return wire;
+    }
+    DnsMessage query = DnsMessage::make_query(id, *name, RRType::A);
+    net::attach_replay_meta(
+        query, {.ts = static_cast<SimTime>(sched_ns / 1'000'000'000ULL),
+                .client_id = workload_.client_of(seq)});
+    scratch_ = encode_message(query);
+    return scratch_;
+  }
+
+ private:
+  const DomainName* name_of(std::size_t key) {
+    auto& slot = names_[key];
+    if (!slot) {
+      slot = DomainName::parse(workload_.name_of(key));
+      if (!slot) return nullptr;
+    }
+    return &*slot;
+  }
+
+  const Workload& workload_;
+  const bool attach_meta_;
+  Rng& rng_;
+  std::vector<std::optional<DomainName>> names_;
+  std::vector<std::vector<std::uint8_t>> templates_;
+  std::vector<std::uint8_t> scratch_;
+};
+
+struct WorkerStats {
+  bool ok = true;
+  std::string error;
+  std::uint64_t sent = 0;  // measured phase only; warmup is invisible
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;
+  double duration_seconds = 0.0;
+};
+
+/// Closed loop: one outstanding query, RTT from the actual send.
+WorkerStats run_closed_worker(const LoadgenConfig& config,
+                              const Workload& workload, std::size_t index,
+                              std::uint64_t measured, std::uint64_t warmup,
+                              QueryTransport& transport,
+                              obs::LatencyRecorder::Shard& shard) {
+  WorkerStats stats;
+  Rng rng(shard_seed(config.seed, index));
+  QueryStream stream(workload, config.attach_replay_meta, rng);
+  const auto t0 = Clock::now();
+  Clock::time_point measure_start = t0;
+  Clock::time_point last_done = t0;
+  const std::uint64_t total = warmup + measured;
+  for (std::uint64_t seq = 0; seq < total; ++seq) {
+    const bool is_measured = seq >= warmup;
+    const auto t_send = Clock::now();
+    if (is_measured && seq == warmup) measure_start = t_send;
+    const auto id = static_cast<std::uint16_t>(seq % kIdSpace);
+    const auto wire = stream.next(
+        seq, id, static_cast<std::uint64_t>(ns_between(t0, t_send)));
+    if (wire.empty() || !transport.send(wire)) {
+      stats.ok = false;
+      stats.error = "send failed (connection " + std::to_string(index) + ")";
+      break;
+    }
+    if (is_measured) ++stats.sent;
+    const auto deadline =
+        t_send + std::chrono::milliseconds(config.timeout_ms);
+    bool got = false;
+    for (;;) {
+      const auto now = Clock::now();
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count();
+      if (remaining_ms <= 0) break;
+      const auto resp = transport.receive(static_cast<int>(remaining_ms));
+      if (!resp) break;
+      if (resp->size() < 2 || response_id(*resp) != id) continue;  // stale
+      last_done = Clock::now();
+      if (is_measured) {
+        shard.record(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(ns_between(t_send, last_done), 0)));
+        ++stats.completed;
+      }
+      got = true;
+      break;
+    }
+    if (is_measured && !got) ++stats.lost;
+  }
+  stats.duration_seconds =
+      static_cast<double>(ns_between(measure_start, last_done)) * 1e-9;
+  return stats;
+}
+
+/// Open loop: scheduled sends, RTT from the *scheduled* send time.  When
+/// the harness or the server falls behind, the queries that waited carry
+/// the wait — no coordinated omission.
+WorkerStats run_open_worker(const LoadgenConfig& config,
+                            const Workload& workload, std::size_t index,
+                            std::uint64_t measured, std::uint64_t warmup,
+                            QueryTransport& transport,
+                            obs::LatencyRecorder::Shard& shard) {
+  WorkerStats stats;
+  Rng rng(shard_seed(config.seed, index));
+  QueryStream stream(workload, config.attach_replay_meta, rng);
+
+  // Scheduled send time of the outstanding query per DNS id (ns since t0;
+  // -1 = free).  The id space bounds outstanding queries: reusing a busy
+  // slot declares the old query lost.
+  struct Slot {
+    std::int64_t sched_ns = -1;
+    bool measured = false;
+  };
+  std::vector<Slot> slots(kIdSpace);
+  std::size_t outstanding = 0;
+
+  const auto t0 = Clock::now();
+  std::int64_t sched_ns = 0;
+  std::int64_t measure_start_ns = 0;
+  std::int64_t last_activity_ns = 0;
+
+  const auto handle = [&](const std::vector<std::uint8_t>& resp,
+                          Clock::time_point now) {
+    if (resp.size() < 2) return;
+    Slot& slot = slots[response_id(resp)];
+    if (slot.sched_ns < 0) return;  // duplicate or long-forgotten
+    const std::int64_t done_ns = ns_between(t0, now);
+    if (slot.measured) {
+      shard.record(static_cast<std::uint64_t>(
+          std::max<std::int64_t>(done_ns - slot.sched_ns, 0)));
+      ++stats.completed;
+      last_activity_ns = std::max(last_activity_ns, done_ns);
+    }
+    slot.sched_ns = -1;
+    --outstanding;
+  };
+
+  const std::uint64_t total = warmup + measured;
+  for (std::uint64_t seq = 0; seq < total && stats.ok; ++seq) {
+    sched_ns += static_cast<std::int64_t>(workload.next_gap_ns(rng));
+    // Pace to the schedule, draining responses while waiting.  Behind
+    // schedule, fall straight through: the send happens late and the
+    // lateness is charged to this query's RTT.
+    for (;;) {
+      const auto now = Clock::now();
+      const std::int64_t remaining_ns = sched_ns - ns_between(t0, now);
+      if (remaining_ns <= 0) break;
+      if (remaining_ns >= 1'000'000) {
+        const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+            remaining_ns / 1'000'000, config.timeout_ms));
+        if (const auto resp = transport.receive(wait_ms)) {
+          handle(*resp, Clock::now());
+        }
+      } else if (const auto resp = transport.receive(0)) {
+        handle(*resp, Clock::now());
+      } else {
+        std::this_thread::yield();  // sub-millisecond: spin on the clock
+      }
+    }
+    const bool is_measured = seq >= warmup;
+    if (is_measured && seq == warmup) measure_start_ns = sched_ns;
+    const auto id = static_cast<std::uint16_t>(seq % kIdSpace);
+    Slot& slot = slots[id];
+    if (slot.sched_ns >= 0) {  // id wrap: the old occupant never answered
+      if (slot.measured) ++stats.lost;
+      slot.sched_ns = -1;
+      --outstanding;
+    }
+    const auto wire =
+        stream.next(seq, id, static_cast<std::uint64_t>(sched_ns));
+    if (wire.empty() || !transport.send(wire)) {
+      stats.ok = false;
+      stats.error = "send failed (connection " + std::to_string(index) + ")";
+      break;
+    }
+    slot.sched_ns = sched_ns;
+    slot.measured = is_measured;
+    ++outstanding;
+    if (is_measured) {
+      ++stats.sent;
+      last_activity_ns = std::max(last_activity_ns, sched_ns);
+    }
+    while (const auto resp = transport.receive(0)) handle(*resp, Clock::now());
+  }
+
+  // Final drain: late answers are the whole point of open-loop accounting.
+  const auto drain_deadline =
+      Clock::now() + std::chrono::milliseconds(config.drain_timeout_ms);
+  while (outstanding > 0) {
+    const auto now = Clock::now();
+    const auto remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline -
+                                                              now)
+            .count();
+    if (remaining_ms <= 0) break;
+    if (const auto resp = transport.receive(
+            static_cast<int>(std::min<long long>(remaining_ms, 50)))) {
+      handle(*resp, Clock::now());
+    }
+  }
+  for (const Slot& slot : slots) {
+    if (slot.sched_ns >= 0 && slot.measured) ++stats.lost;
+  }
+  stats.duration_seconds =
+      static_cast<double>(last_activity_ns - measure_start_ns) * 1e-9;
+  return stats;
+}
+
+class UdpQueryTransport final : public QueryTransport {
+ public:
+  bool connect(const std::string& host, std::uint16_t port) {
+    return client_.connect(host, port);
+  }
+  bool send(std::span<const std::uint8_t> wire) override {
+    return client_.send(wire);
+  }
+  std::optional<std::vector<std::uint8_t>> receive(int timeout_ms) override {
+    return client_.receive(timeout_ms);
+  }
+
+ private:
+  net::UdpClient client_;
+};
+
+}  // namespace
+
+LoadgenResult run_load(const LoadgenConfig& config,
+                       const TransportFactory& factory) {
+  LoadgenResult result;
+  result.mode = config.mode;
+  const std::size_t connections = std::max<std::size_t>(config.connections, 1);
+
+  std::vector<std::unique_ptr<QueryTransport>> transports;
+  transports.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    transports.push_back(factory ? factory(i) : nullptr);
+    if (transports.back() == nullptr) {
+      result.error =
+          "transport factory failed (connection " + std::to_string(i) + ")";
+      return result;
+    }
+  }
+
+  // The offered rate is split evenly; each worker paces its own share so
+  // the aggregate arrival process hits the configured rate.
+  WorkloadConfig per_worker = config.workload;
+  if (config.mode == LoopMode::kOpen) {
+    per_worker.offered_qps =
+        config.workload.offered_qps / static_cast<double>(connections);
+    result.offered_qps = config.workload.offered_qps;
+  }
+  const Workload workload(per_worker);
+
+  obs::LatencyRecorder recorder(connections);
+  std::vector<WorkerStats> stats(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    // Even split with the remainder spread over the first workers.
+    const std::uint64_t measured =
+        config.queries / connections + (i < config.queries % connections);
+    const std::uint64_t warmup = config.warmup_queries / connections +
+                                 (i < config.warmup_queries % connections);
+    threads.emplace_back([&, i, measured, warmup]() {
+      auto& shard = recorder.shard(i);
+      stats[i] = config.mode == LoopMode::kOpen
+                     ? run_open_worker(config, workload, i, measured, warmup,
+                                       *transports[i], shard)
+                     : run_closed_worker(config, workload, i, measured,
+                                         warmup, *transports[i], shard);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const WorkerStats& ws : stats) {
+    if (!ws.ok && result.error.empty()) result.error = ws.error;
+    result.sent += ws.sent;
+    result.completed += ws.completed;
+    result.lost += ws.lost;
+    result.duration_seconds =
+        std::max(result.duration_seconds, ws.duration_seconds);
+  }
+  result.ok = result.error.empty();
+  if (result.duration_seconds > 0) {
+    result.achieved_qps =
+        static_cast<double>(result.completed) / result.duration_seconds;
+  }
+  result.latency = recorder.snapshot();
+  result.percentiles = result.latency.percentiles_seconds();
+  return result;
+}
+
+LoadgenResult run_load_udp(const LoadgenConfig& config,
+                           const std::string& host, std::uint16_t port) {
+  return run_load(config, [&](std::size_t) -> std::unique_ptr<QueryTransport> {
+    auto transport = std::make_unique<UdpQueryTransport>();
+    if (!transport->connect(host, port)) return nullptr;
+    return transport;
+  });
+}
+
+}  // namespace dnsnoise::loadgen

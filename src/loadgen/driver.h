@@ -1,0 +1,117 @@
+// Open/closed-loop load driver for the wire front-end (DESIGN.md §16).
+//
+// Two loop disciplines, one harness:
+//
+//   * closed loop — each connection keeps exactly one query outstanding
+//     and sends the next the moment the response lands.  RTT is measured
+//     from the *actual* send.  A closed loop adapts its rate to the
+//     server, so a slow server sees fewer queries and the latency
+//     distribution silently drops exactly the samples that would have
+//     hurt — the coordinated-omission trap;
+//
+//   * open loop — queries are sent on a schedule derived from the
+//     workload's arrival process, independent of responses.  RTT is
+//     measured from the *scheduled* send time, so when the harness (or
+//     the server) falls behind, the backlog delay is charged to the
+//     queries that suffered it.  Under overload the open-loop p99 keeps
+//     growing while the closed-loop p99 stays flat; comparing the two is
+//     the harness's built-in honesty check (LoadgenLoop.* tests).
+//
+// The transport is pluggable (QueryTransport): production uses a UDP
+// socket per connection against resolver/wire_frontend; tests inject a
+// simulated single-server queue with a known service time to make the
+// open-vs-closed divergence deterministic.
+//
+// Latencies land in an obs::LatencyRecorder (one shard per connection,
+// deterministic merge); results carry the merged snapshot plus
+// p50/p90/p99/p999 in seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "loadgen/workload.h"
+#include "obs/latency.h"
+
+namespace dnsnoise::loadgen {
+
+/// Minimal request/response transport, one instance per connection.
+/// Implementations need not be thread-safe: the driver gives each worker
+/// thread exclusive use of its transport.
+class QueryTransport {
+ public:
+  virtual ~QueryTransport() = default;
+
+  /// Sends one encoded query.  Returns false on hard failure.
+  virtual bool send(std::span<const std::uint8_t> wire) = 0;
+
+  /// Waits up to `timeout_ms` (0 = poll) for one response datagram.
+  virtual std::optional<std::vector<std::uint8_t>> receive(int timeout_ms) = 0;
+};
+
+/// Builds the transport for worker `connection`; return nullptr to abort
+/// the run with an error.
+using TransportFactory =
+    std::function<std::unique_ptr<QueryTransport>(std::size_t connection)>;
+
+enum class LoopMode : std::uint8_t { kClosed, kOpen };
+
+struct LoadgenConfig {
+  LoopMode mode = LoopMode::kClosed;
+  /// Arrival process (open loop), key popularity, and name shape.
+  WorkloadConfig workload;
+  /// Concurrent connections, each a worker thread with its own transport,
+  /// RNG stream, and recorder shard.  The open-loop offered rate is split
+  /// evenly across connections.
+  std::size_t connections = 1;
+  /// Measured queries, total across connections.
+  std::uint64_t queries = 10'000;
+  /// Unrecorded leading queries (cache warmup), total across connections.
+  std::uint64_t warmup_queries = 0;
+  /// Closed loop: per-query response deadline.  Open loop: upper bound on
+  /// one blocking poll while pacing (responses are matched by id, so late
+  /// answers still count when they arrive).
+  int timeout_ms = 1000;
+  /// Open loop: how long to keep draining after the last scheduled send.
+  int drain_timeout_ms = 2000;
+  std::uint64_t seed = 1;
+  /// Carry (ts, client) replay metadata so the server sees the simulated
+  /// client population instead of one socket peer (requires the frontend's
+  /// allow_replay_meta).  ts advances with the schedule in sim-seconds.
+  bool attach_replay_meta = false;
+};
+
+struct LoadgenResult {
+  bool ok = false;
+  std::string error;
+  LoopMode mode = LoopMode::kClosed;
+  /// Configured offered rate (open loop; 0 for closed — a closed loop has
+  /// no offered rate, it accepts the server's).
+  double offered_qps = 0.0;
+  /// Completed queries / measured wall time.
+  double achieved_qps = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;  // timed out / never answered
+  double duration_seconds = 0.0;
+  /// Merged RTT distribution over completed measured queries.  Open loop:
+  /// anchored at scheduled send times.  Closed loop: actual send times.
+  obs::LatencySnapshot latency;
+  obs::LatencyPercentiles percentiles;  // seconds, from `latency`
+};
+
+/// Runs the configured load through transports from `factory`.
+LoadgenResult run_load(const LoadgenConfig& config,
+                       const TransportFactory& factory);
+
+/// Convenience: UDP transports against `host`:`port` (the wire frontend).
+LoadgenResult run_load_udp(const LoadgenConfig& config,
+                           const std::string& host, std::uint16_t port);
+
+}  // namespace dnsnoise::loadgen

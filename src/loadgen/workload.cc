@@ -1,0 +1,47 @@
+#include "loadgen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsnoise::loadgen {
+
+namespace {
+
+WorkloadConfig sanitized(WorkloadConfig config) {
+  if (!(config.offered_qps > 0.0)) config.offered_qps = 1.0;
+  if (config.name_count == 0) config.name_count = 1;
+  if (config.client_count == 0) config.client_count = 1;
+  if (config.zipf_s < 0.0) config.zipf_s = 0.0;
+  return config;
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadConfig& config)
+    : config_(sanitized(config)),
+      mean_gap_ns_(1e9 / config_.offered_qps),
+      zipf_(config_.keys == KeyDistribution::kZipf ? config_.name_count : 1,
+            config_.zipf_s) {}
+
+std::uint64_t Workload::next_gap_ns(Rng& rng) const {
+  double gap_ns = mean_gap_ns_;
+  if (config_.arrival == ArrivalProcess::kPoisson) {
+    gap_ns = rng.exponential(mean_gap_ns_);
+  }
+  // Never schedule two queries at the same instant: a zero gap would let
+  // an infinite burst through the pacing loop.
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(gap_ns), 1);
+}
+
+std::size_t Workload::next_key(Rng& rng) const {
+  if (config_.keys == KeyDistribution::kZipf) return zipf_.sample(rng);
+  return static_cast<std::size_t>(
+      rng.below(static_cast<std::uint64_t>(config_.name_count)));
+}
+
+std::string Workload::name_of(std::size_t key) const {
+  return config_.name_prefix + std::to_string(key % config_.name_count) +
+         config_.name_suffix;
+}
+
+}  // namespace dnsnoise::loadgen

@@ -1,0 +1,87 @@
+// Workload shaping for the load harness (DESIGN.md §16): what to ask and
+// when to ask it.
+//
+// A Workload owns two pluggable distributions:
+//   * the arrival process — fixed-rate (deterministic gaps of 1/rate) or
+//     Poisson (exponential gaps with mean 1/rate), sampled as nanosecond
+//     inter-arrival gaps.  In open-loop mode the driver derives each
+//     query's *scheduled* send time from the cumulative gaps, which is
+//     what makes the measurement free of coordinated omission;
+//   * the key-popularity distribution — uniform or Zipf (util/zipf) over
+//     `name_count` distinct qnames, mirroring the heavy-tailed hostname
+//     popularity the paper's traffic model uses.
+//
+// Queries are attributed to a simulated client population of
+// `client_count` ids via a stateless mix of the sequence number, so the
+// served cluster sees a stable many-client traffic shape even though all
+// datagrams share one socket (carried in replay-meta when enabled).
+//
+// Everything is seeded and deterministic: two Workloads with the same
+// config and the same Rng stream produce identical schedules and keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dnsnoise::loadgen {
+
+/// Inter-arrival process of the offered load.
+enum class ArrivalProcess : std::uint8_t {
+  kFixedRate,  // gaps of exactly 1e9 / offered_qps ns
+  kPoisson,    // exponential gaps, mean 1e9 / offered_qps ns
+};
+
+/// Which of the distinct names a query asks for.
+enum class KeyDistribution : std::uint8_t {
+  kUniform,
+  kZipf,  // rank r with probability ∝ 1 / (r+1)^zipf_s
+};
+
+struct WorkloadConfig {
+  ArrivalProcess arrival = ArrivalProcess::kFixedRate;
+  /// Offered rate the arrival process targets (open-loop only; closed
+  /// loop sends as fast as responses return).
+  double offered_qps = 1000.0;
+  KeyDistribution keys = KeyDistribution::kUniform;
+  double zipf_s = 1.1;
+  /// Distinct qnames, built as "<prefix><key><suffix>".
+  std::size_t name_count = 1000;
+  std::string name_prefix = "q";
+  std::string name_suffix = ".bench.test";
+  /// Simulated client population (replay-meta client ids).
+  std::size_t client_count = 64;
+};
+
+/// Sampler bundle over one WorkloadConfig.  Not thread-safe: each driver
+/// worker owns its own Workload (cheap — the Zipf CDF is the only state).
+class Workload {
+ public:
+  explicit Workload(const WorkloadConfig& config);
+
+  const WorkloadConfig& config() const noexcept { return config_; }
+
+  /// Next inter-arrival gap in nanoseconds (>= 1).
+  std::uint64_t next_gap_ns(Rng& rng) const;
+
+  /// Next key in [0, name_count).
+  std::size_t next_key(Rng& rng) const;
+
+  /// The qname of `key`: "<prefix><key % name_count><suffix>".
+  std::string name_of(std::size_t key) const;
+
+  /// Stable client id of the seq-th query (uniform over the population).
+  std::uint64_t client_of(std::uint64_t seq) const noexcept {
+    return mix64(seq ^ 0x5ca1ab1eULL) % config_.client_count;
+  }
+
+ private:
+  WorkloadConfig config_;
+  double mean_gap_ns_;
+  ZipfSampler zipf_;  // built (cheaply, n=1) even when keys are uniform
+};
+
+}  // namespace dnsnoise::loadgen

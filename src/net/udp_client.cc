@@ -102,9 +102,16 @@ bool UdpClient::send(std::span<const std::uint8_t> payload) {
 
 std::optional<std::vector<std::uint8_t>> UdpClient::receive(int timeout_ms) {
   if (fd_ < 0) return std::nullopt;
-  set_timeout(fd_, timeout_ms);
+  // timeout_ms <= 0 is a non-blocking poll (a zero SO_RCVTIMEO would mean
+  // "block forever" — never what a poll-shaped caller wants).
+  int flags = 0;
+  if (timeout_ms <= 0) {
+    flags = MSG_DONTWAIT;
+  } else {
+    set_timeout(fd_, timeout_ms);
+  }
   std::vector<std::uint8_t> buf(0xffff);
-  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), flags);
   if (n < 0) return std::nullopt;
   buf.resize(static_cast<std::size_t>(n));
   return buf;

@@ -38,8 +38,8 @@ class UdpClient {
   /// (used by tests to probe server robustness).
   bool send(std::span<const std::uint8_t> payload);
 
-  /// Receives one datagram, waiting up to `timeout_ms`.  Returns
-  /// std::nullopt on timeout or error.
+  /// Receives one datagram, waiting up to `timeout_ms` (<= 0 is a
+  /// non-blocking poll).  Returns std::nullopt on timeout or error.
   std::optional<std::vector<std::uint8_t>> receive(int timeout_ms = 1000);
 
   /// send() + receive() in one call.

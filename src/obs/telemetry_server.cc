@@ -82,6 +82,12 @@ void TelemetryServer::publish_trace(std::string trace_json) {
   trace_json_ = std::move(trace_json);
 }
 
+void TelemetryServer::set_slowlog_source(
+    std::function<std::string()> source) {
+  const std::lock_guard lock(slowlog_mutex_);
+  slowlog_source_ = std::move(source);
+}
+
 net::HttpResponse TelemetryServer::handle(
     const net::HttpRequest& request) const {
   net::HttpResponse response;
@@ -114,16 +120,36 @@ net::HttpResponse TelemetryServer::handle(
     response.body = trace_json_;
     return response;
   }
+  if (path == "/slowlog") {
+    std::function<std::string()> source;
+    {
+      const std::lock_guard lock(slowlog_mutex_);
+      source = slowlog_source_;
+    }
+    if (!source) {
+      response.status = 404;
+      response.content_type = "application/json; charset=utf-8";
+      response.body =
+          "{\"error\": \"no slow-query log attached; start a wire "
+          "front-end with metrics enabled\"}\n";
+      return response;
+    }
+    response.content_type = "application/json; charset=utf-8";
+    response.body = source();
+    return response;
+  }
   if (path == "/") {
     response.body =
         "dnsnoise telemetry\n"
         "  /metrics  OpenMetrics exposition of the live registry\n"
         "  /healthz  per-stage liveness (200 ok/idle, 503 stalled)\n"
-        "  /trace    latest dnsnoise-trace-v1 snapshot\n";
+        "  /trace    latest dnsnoise-trace-v1 snapshot\n"
+        "  /slowlog  worst-N slow queries with stage breakdowns\n";
     return response;
   }
   response.status = 404;
-  response.body = "unknown endpoint; try /metrics, /healthz, /trace\n";
+  response.body =
+      "unknown endpoint; try /metrics, /healthz, /trace, /slowlog\n";
   return response;
 }
 

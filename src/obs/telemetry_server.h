@@ -13,6 +13,9 @@
 //                 while obs.run_active is 1,
 //   GET /trace    the most recently published dnsnoise-trace-v1 JSON
 //                 (publish_trace), 404 before the first snapshot,
+//   GET /slowlog  the live dnsnoise-slowlog-v1 document of the wired
+//                 slow-query log (set_slowlog_source), 404 when no
+//                 source is attached,
 //   GET /         a plain-text index of the above.
 //
 // Obs contract: strictly opt-in (MiningSession::enable_telemetry /
@@ -24,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -93,6 +97,12 @@ class TelemetryServer {
   /// of the scrape thread pulling mid-run.
   void publish_trace(std::string trace_json);
 
+  /// Attaches (or, with nullptr, detaches) the GET /slowlog source.  The
+  /// callable is invoked on the scrape thread and must be thread-safe
+  /// and valid until replaced — owners with a shorter lifetime than the
+  /// server (a served day's wire frontend) must clear it on teardown.
+  void set_slowlog_source(std::function<std::string()> source);
+
   /// Serves one request; exposed for tests (the listener calls this).
   net::HttpResponse handle(const net::HttpRequest& request) const;
 
@@ -102,6 +112,8 @@ class TelemetryServer {
   net::HttpListener listener_;
   mutable std::mutex trace_mutex_;
   std::string trace_json_;
+  mutable std::mutex slowlog_mutex_;
+  std::function<std::string()> slowlog_source_;
 };
 
 }  // namespace dnsnoise::obs

@@ -43,7 +43,15 @@ WireFrontend::WireFrontend(RdnsCluster& cluster,
                            const WireFrontendConfig& config)
     : cluster_(cluster),
       config_(config),
-      heartbeat_(config.metrics, "server", /*every_n=*/64) {
+      heartbeat_(config.metrics, "server", /*every_n=*/64),
+      // One shard per UDP serving thread plus margin for TCP handlers.
+      // More threads than shards only share-write min/max maintenance
+      // (counts stay exact: they are fetch_add).
+      decode_latency_(config.udp.shards + 4),
+      cluster_latency_(config.udp.shards + 4),
+      encode_latency_(config.udp.shards + 4),
+      total_latency_(config.udp.shards + 4),
+      slowlog_(config.slowlog_capacity) {
   if (config_.metrics != nullptr) {
     queries_metric_ = &config_.metrics->counter("server.queries");
     formerr_metric_ = &config_.metrics->counter("server.formerr");
@@ -51,6 +59,25 @@ WireFrontend::WireFrontend(RdnsCluster& cluster,
     dropped_metric_ = &config_.metrics->counter("server.dropped");
     truncated_metric_ = &config_.metrics->counter("server.truncated");
     tcp_metric_ = &config_.metrics->counter("server.tcp_queries");
+    if (config_.track_latency) {
+      latency_enabled_ = true;
+      // 8 bins/decade keeps the exposition's within-bin interpolation
+      // error ≤ ~33% — the recorder itself stays the precise view.
+      constexpr double kMaxNs = 1e10;
+      constexpr std::size_t kBins = 8;
+      decode_hist_ =
+          &config_.metrics->histogram("server.latency.decode_ns", kMaxNs,
+                                      kBins);
+      cluster_hist_ =
+          &config_.metrics->histogram("server.latency.cluster_ns", kMaxNs,
+                                      kBins);
+      encode_hist_ =
+          &config_.metrics->histogram("server.latency.encode_ns", kMaxNs,
+                                      kBins);
+      total_hist_ =
+          &config_.metrics->histogram("server.latency.total_ns", kMaxNs,
+                                      kBins);
+    }
   }
 }
 
@@ -90,9 +117,71 @@ bool WireFrontend::start() {
   return true;
 }
 
+// stop() deliberately does NOT flush latency metrics: the registry the
+// histogram pointers lead into is caller-owned and may already be gone
+// by teardown time (a frontend is allowed to outlive its registry once
+// it stops serving).  Callers that want the final partial window flushed
+// call flush_latency_metrics() themselves while the registry is alive —
+// see ServedMiningDay::finish() and bench/fig_loadgen.
 void WireFrontend::stop() {
   tcp_.stop();
   udp_.stop();
+}
+
+StageLatencyBreakdown WireFrontend::stage_latency() const {
+  StageLatencyBreakdown out;
+  out.decode = decode_latency_.snapshot();
+  out.cluster = cluster_latency_.snapshot();
+  out.encode = encode_latency_.snapshot();
+  out.total = total_latency_.snapshot();
+  return out;
+}
+
+void WireFrontend::flush_latency_metrics() {
+  if (!latency_enabled_) return;
+  const std::lock_guard<std::mutex> lock(flush_mutex_);
+  const auto publish = [](const obs::LatencyRecorder& recorder,
+                          obs::LatencySnapshot& published,
+                          obs::Histogram* histogram) {
+    obs::LatencySnapshot now = recorder.snapshot();
+    now.delta_since(published).publish_to(*histogram);
+    published = std::move(now);
+  };
+  publish(decode_latency_, published_decode_, decode_hist_);
+  publish(cluster_latency_, published_cluster_, cluster_hist_);
+  publish(encode_latency_, published_encode_, encode_hist_);
+  publish(total_latency_, published_total_, total_hist_);
+}
+
+void WireFrontend::record_stage_latency(std::uint64_t decode_ns,
+                                        std::uint64_t cluster_ns,
+                                        std::uint64_t encode_ns, SimTime ts,
+                                        const std::string& qname) {
+  decode_latency_.thread_shard().record(decode_ns);
+  cluster_latency_.thread_shard().record(cluster_ns);
+  encode_latency_.thread_shard().record(encode_ns);
+  const std::uint64_t total_ns = decode_ns + cluster_ns + encode_ns;
+  total_latency_.thread_shard().record(total_ns);
+
+  // The qname copy only happens for queries that currently qualify as
+  // slow; the fast-path check is one relaxed load.
+  if (slowlog_.would_admit(total_ns)) {
+    obs::SlowQueryEntry slow;
+    slow.total_ns = total_ns;
+    slow.decode_ns = decode_ns;
+    slow.cluster_ns = cluster_ns;
+    slow.encode_ns = encode_ns;
+    slow.ts = static_cast<std::uint64_t>(ts);
+    slow.qname = qname;
+    slowlog_.maybe_add(slow);
+  }
+
+  const std::uint64_t tick =
+      flush_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.latency_flush_every_n != 0 &&
+      tick % config_.latency_flush_every_n == 0) {
+    flush_latency_metrics();
+  }
 }
 
 WireFrontendStats WireFrontend::stats() const noexcept {
@@ -128,6 +217,14 @@ bool WireFrontend::handle_query(std::span<const std::uint8_t> request,
     const std::uint16_t id =
         static_cast<std::uint16_t>((request[0] << 8) | request[1]);
     const bool rd = (request[2] & 0x01) != 0;
+
+    // Stage clocks for the decode → cluster → encode breakdown; only
+    // read when latency tracking is on (two clock reads per stage).
+    using Clock = std::chrono::steady_clock;
+    const auto stage_now = [this]() {
+      return latency_enabled_ ? Clock::now() : Clock::time_point{};
+    };
+    const auto t_start = stage_now();
 
     auto message = decode_message(request);
     if (!message) {
@@ -171,6 +268,7 @@ bool WireFrontend::handle_query(std::span<const std::uint8_t> request,
 
     DnsMessage reply = make_skeleton(id, rd, RCode::NoError);
     reply.questions.push_back(message->questions.front());
+    const auto t_decoded = stage_now();
     {
       // The cluster, its caches, and its tap observers are single-threaded
       // by contract; serialize the round trip and copy the zero-copy view
@@ -182,6 +280,7 @@ bool WireFrontend::handle_query(std::span<const std::uint8_t> request,
       reply.header.rcode = view.rcode;
       reply.answers.assign(view.answers.begin(), view.answers.end());
     }
+    const auto t_clustered = stage_now();
     bump(queries_, queries_metric_);
     if (transport == Transport::kTcp) {
       bump(tcp_queries_, tcp_metric_);
@@ -200,6 +299,17 @@ bool WireFrontend::handle_query(std::span<const std::uint8_t> request,
       reply.additional.clear();
       reply.header.tc = true;
       response = encode_message(reply);
+    }
+    if (latency_enabled_) {
+      const auto span_ns = [](Clock::time_point from, Clock::time_point to) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                .count());
+      };
+      record_stage_latency(span_ns(t_start, t_decoded),
+                           span_ns(t_decoded, t_clustered),
+                           span_ns(t_clustered, stage_now()), ts,
+                           reply.questions.front().name.text());
     }
     return true;
   } catch (const std::exception&) {

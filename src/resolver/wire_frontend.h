@@ -33,6 +33,7 @@
 
 #include "net/udp_server.h"
 #include "obs/heartbeat.h"
+#include "obs/latency.h"
 #include "resolver/cluster.h"
 #include "util/sim_time.h"
 
@@ -56,6 +57,27 @@ struct WireFrontendConfig {
   /// Opt-in observability: registers the server.* counters and the
   /// "server" heartbeat stage.  Must outlive the frontend; null disables.
   obs::MetricsRegistry* metrics = nullptr;
+  /// With metrics on, every well-formed query's decode → cluster →
+  /// encode spans are recorded into wait-free per-thread latency shards
+  /// (obs/latency) and periodically flushed into the registry's
+  /// server.latency.{decode,cluster,encode,total}_ns histograms — the
+  /// OpenMetrics `_bucket`/`_percentile` series on /metrics.
+  bool track_latency = true;
+  /// Queries whose total span lands among the `slowlog_capacity` slowest
+  /// are kept with their stage breakdown (slowlog_json / GET /slowlog).
+  std::size_t slowlog_capacity = 32;
+  /// Flush period: each serving thread folds latency deltas into the
+  /// registry histograms every N answered queries.
+  std::uint64_t latency_flush_every_n = 512;
+};
+
+/// Per-stage merged latency views (exact once serving threads quiesce).
+struct StageLatencyBreakdown {
+  obs::LatencySnapshot decode;
+  obs::LatencySnapshot cluster;  // includes the cluster-mutex wait: that
+                                 // queueing delay is real serving latency
+  obs::LatencySnapshot encode;
+  obs::LatencySnapshot total;
 };
 
 /// Monotonic counters of the wire front-end (also exported as server.*
@@ -93,6 +115,30 @@ class WireFrontend {
 
   WireFrontendStats stats() const noexcept;
 
+  /// Whether per-query stage latency is being recorded (metrics wired
+  /// and config.track_latency).
+  bool latency_tracked() const noexcept { return latency_enabled_; }
+
+  /// Merged per-stage latency snapshots (decode / cluster / encode /
+  /// total); zeros when latency_tracked() is false.
+  StageLatencyBreakdown stage_latency() const;
+
+  /// Folds all not-yet-published latency counts into the registry
+  /// histograms now.  The periodic flush covers steady state; call this
+  /// for the final partial window before reading the registry.  The
+  /// registry must still be alive — stop() deliberately never flushes,
+  /// because a stopped frontend may outlive its registry.
+  void flush_latency_metrics();
+
+  /// dnsnoise-slowlog-v1 JSON of the worst-N queries (obs::SlowQueryLog);
+  /// wire it to TelemetryServer::set_slowlog_source for GET /slowlog.
+  std::string slowlog_json() const { return slowlog_.to_json(); }
+
+  /// The slowest retained queries with stage breakdowns, slowest first.
+  std::vector<obs::SlowQueryEntry> slow_queries() const {
+    return slowlog_.entries();
+  }
+
   enum class Transport : std::uint8_t { kUdp, kTcp };
 
   /// The pure wire-level request handler both transports dispatch to,
@@ -104,6 +150,9 @@ class WireFrontend {
 
  private:
   SimTime live_timestamp() const noexcept;
+  void record_stage_latency(std::uint64_t decode_ns, std::uint64_t cluster_ns,
+                            std::uint64_t encode_ns, SimTime ts,
+                            const std::string& qname);
 
   RdnsCluster& cluster_;
   WireFrontendConfig config_;
@@ -130,6 +179,25 @@ class WireFrontend {
   obs::Counter* dropped_metric_ = nullptr;
   obs::Counter* truncated_metric_ = nullptr;
   obs::Counter* tcp_metric_ = nullptr;
+
+  // Per-query stage latency (obs/latency): wait-free per-thread shards,
+  // periodically delta-flushed into the registry histograms below.
+  bool latency_enabled_ = false;
+  obs::LatencyRecorder decode_latency_;
+  obs::LatencyRecorder cluster_latency_;
+  obs::LatencyRecorder encode_latency_;
+  obs::LatencyRecorder total_latency_;
+  obs::SlowQueryLog slowlog_;
+  std::atomic<std::uint64_t> flush_tick_{0};
+  std::mutex flush_mutex_;  // guards published_* (one flusher at a time)
+  obs::LatencySnapshot published_decode_;
+  obs::LatencySnapshot published_cluster_;
+  obs::LatencySnapshot published_encode_;
+  obs::LatencySnapshot published_total_;
+  obs::Histogram* decode_hist_ = nullptr;
+  obs::Histogram* cluster_hist_ = nullptr;
+  obs::Histogram* encode_hist_ = nullptr;
+  obs::Histogram* total_hist_ = nullptr;
 };
 
 }  // namespace dnsnoise

@@ -215,6 +215,28 @@ TEST(TelemetryServer, ServesScrapesOverRealSockets) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(TelemetryServer, SlowlogServes404UntilSourceIsSetAndAfterClear) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::string before = http_get(server.port(), "/slowlog");
+  EXPECT_NE(before.find("404"), std::string::npos);
+
+  server.set_slowlog_source(
+      []() { return std::string("{\"schema\": \"dnsnoise-slowlog-v1\"}\n"); });
+  const std::string body = http_get(server.port(), "/slowlog");
+  EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("dnsnoise-slowlog-v1"), std::string::npos);
+
+  // Clearing (what ServedMiningDay does on finish) restores the 404 —
+  // the server must never invoke a source whose owner has gone away.
+  server.set_slowlog_source({});
+  const std::string after = http_get(server.port(), "/slowlog");
+  EXPECT_NE(after.find("404"), std::string::npos);
+  server.stop();
+}
+
 TEST(TelemetryServer, StartFailsCleanlyOnBusyPort) {
   MetricsRegistry registry;
   TelemetryServer first(registry);

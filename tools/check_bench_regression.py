@@ -13,6 +13,12 @@ alone would flag any nonzero noise, so ``--alloc-slack`` (default 0.05
 allocations/query) is added as an absolute allowance before the ratio is
 judged.
 
+``*_latency_seconds`` gauges (bench/fig_loadgen percentiles, the server
+bench's closed-loop RTTs) are likewise lower-is-better: growth beyond
+``--latency-threshold`` (default 100%) fails, after an absolute
+``--latency-slack`` allowance (default 2ms) that keeps microsecond-scale
+loopback baselines from flagging on scheduler noise.
+
 Gauges present on only one side are reported but never fail the check:
 benchmarks come and go, and machine differences are judged only on the
 ratio of matched gauges.  A missing baseline file skips the check with
@@ -84,6 +90,21 @@ def main():
         "judged, so ~zero baselines don't flag on noise (default 0.05)",
     )
     parser.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=1.0,
+        help="maximum tolerated fractional latency growth (default 1.0, "
+        "i.e. a doubling)",
+    )
+    parser.add_argument(
+        "--latency-slack",
+        type=float,
+        default=0.002,
+        help="absolute seconds allowance before the latency growth ratio "
+        "is judged, so microsecond baselines don't flag on noise "
+        "(default 0.002)",
+    )
+    parser.add_argument(
         "--floor",
         action="append",
         default=[],
@@ -108,6 +129,7 @@ def main():
     try:
         current = load_gauges(args.current, "_per_sec")
         current_allocs = load_gauges(args.current, "allocs_per_query")
+        current_latency = load_gauges(args.current, "_latency_seconds")
         current_all = load_gauges(args.current, "")
     except FileNotFoundError:
         print(f"error: current snapshot {args.current} not found "
@@ -120,6 +142,7 @@ def main():
     try:
         baseline = load_gauges(args.baseline, "_per_sec")
         baseline_allocs = load_gauges(args.baseline, "allocs_per_query")
+        baseline_latency = load_gauges(args.baseline, "_latency_seconds")
     except FileNotFoundError:
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
@@ -127,17 +150,18 @@ def main():
         print(f"error: baseline snapshot is unusable: {err}")
         return 2
 
-    if not baseline and not baseline_allocs:
+    if not baseline and not baseline_allocs and not baseline_latency:
         print(f"baseline {args.baseline} has no gated gauges; skipping")
         return 0
-    if not current and not current_allocs:
+    if not current and not current_allocs and not current_latency:
         print(f"error: current snapshot {args.current} has no gated "
               f"gauges while baseline {args.baseline} has "
-              f"{len(baseline) + len(baseline_allocs)}; the benchmark "
-              "output changed shape or was truncated")
+              f"{len(baseline) + len(baseline_allocs) + len(baseline_latency)}"
+              "; the benchmark output changed shape or was truncated")
         return 2
-    matched = (set(baseline) & set(current)) | (set(baseline_allocs) &
-                                                set(current_allocs))
+    matched = ((set(baseline) & set(current)) |
+               (set(baseline_allocs) & set(current_allocs)) |
+               (set(baseline_latency) & set(current_latency)))
     if not matched:
         print(f"error: current snapshot {args.current} and baseline "
               f"{args.baseline} share no gauge names; every comparison "
@@ -190,8 +214,24 @@ def main():
                 f"limit {limit:.3f})")
         print(f"{status:>10}  {name}: {before:.3f} -> {after:.3f} "
               f"allocs/query (limit {limit:.3f})")
+    # Lower-is-better gauges: latency percentiles must not balloon.
+    for name in sorted(baseline_latency):
+        if name not in current_latency:
+            print(f"note: {name} missing from current run (not gating)")
+            continue
+        before, after = baseline_latency[name], current_latency[name]
+        limit = before * (1.0 + args.latency_threshold) + args.latency_slack
+        status = "ok"
+        if after > limit:
+            status = "REGRESSION"
+            regressions.append(
+                f"{name} ({before:.6f}s -> {after:.6f}s, "
+                f"limit {limit:.6f}s)")
+        print(f"{status:>10}  {name}: {before:.6f}s -> {after:.6f}s "
+              f"(limit {limit:.6f}s)")
     for name in sorted((set(current) - set(baseline)) |
-                       (set(current_allocs) - set(baseline_allocs))):
+                       (set(current_allocs) - set(baseline_allocs)) |
+                       (set(current_latency) - set(baseline_latency))):
         print(f"note: {name} is new (no baseline; not gating)")
 
     if regressions:
@@ -201,7 +241,8 @@ def main():
         return 1
     print("\nno regressions beyond thresholds "
           f"(throughput -{args.threshold:.0%}, "
-          f"allocs +{args.alloc_threshold:.0%}+{args.alloc_slack})")
+          f"allocs +{args.alloc_threshold:.0%}+{args.alloc_slack}, "
+          f"latency +{args.latency_threshold:.0%}+{args.latency_slack}s)")
     return 0
 
 

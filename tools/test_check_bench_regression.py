@@ -94,6 +94,75 @@ class CheckBenchRegressionTest(unittest.TestCase):
         code, out = self.run_gate(current, baseline)
         self.assertEqual(code, 0, out)
 
+    def test_latency_growth_beyond_threshold_fails(self):
+        # Lower is better: p99 quadrupling past slack+ratio must fail.
+        current = self.path(
+            "current.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.400}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.100}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("p99_latency_seconds", out)
+
+    def test_latency_growth_within_threshold_passes(self):
+        current = self.path(
+            "current.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.150}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.100}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
+    def test_latency_slack_absorbs_microsecond_noise(self):
+        # 50us -> 1.5ms is a 30x ratio but within the 2ms absolute slack:
+        # loopback-scale baselines must not flag on scheduler noise.
+        current = self.path(
+            "current.json",
+            snapshot({"server.wire_p99_latency_seconds": 0.0015}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"server.wire_p99_latency_seconds": 0.00005}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
+    def test_latency_improvement_never_gates(self):
+        current = self.path(
+            "current.json",
+            snapshot({"loadgen.closed.p50_latency_seconds": 0.010}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"loadgen.closed.p50_latency_seconds": 0.500}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
+    def test_custom_latency_threshold_is_honored(self):
+        current = self.path(
+            "current.json",
+            snapshot({"loadgen.open.p999_latency_seconds": 0.160}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"loadgen.open.p999_latency_seconds": 0.100}))
+        code, _ = self.run_gate(current, baseline,
+                                "--latency-threshold", "0.25")
+        self.assertEqual(code, 1)
+
+    def test_latency_only_snapshots_still_gate(self):
+        # A snapshot whose only gated gauges are latency percentiles must
+        # count as gated (not "no gated gauges" / "share no names").
+        current = self.path(
+            "current.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.100}))
+        baseline = self.path(
+            "baseline.json",
+            snapshot({"loadgen.open.p99_latency_seconds": 0.100}))
+        code, out = self.run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+        self.assertIn("no regressions", out)
+
     def test_missing_baseline_skips_with_zero(self):
         current = self.path("current.json",
                             snapshot({"a.events_per_sec": 1000.0}))
