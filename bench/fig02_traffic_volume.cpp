@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
   // loop below stays untraced, so the gated gauges are unaffected.
   // --serve=PORT turns on the live telemetry endpoint (DESIGN.md §13) for
   // the whole run and --days=N extends the day loop — together they are
-  // the multi-day continuous mode: scrape /metrics and /healthz on
-  // 127.0.0.1:PORT while the bench mines.
+  // the multi-day continuous mode: scrape /metrics, /healthz, and the
+  // /traffic sketch snapshot (DESIGN.md §17) on 127.0.0.1:PORT while the
+  // bench runs full mining days (each day's findings arm the next day's
+  // live disposable classifier).
   std::string trace_path;
   int days = 2;
   unsigned long serve_port = 0;
@@ -94,6 +96,11 @@ int main(int argc, char** argv) {
       .warmup(true, options.warmup_volume_fraction)
       .threads(4);
   if (serve) {
+    // The streaming introspection plane rides along: /traffic serves the
+    // live dnsnoise-traffic-v1 sketch snapshot while the days simulate,
+    // and each finished day arms the next day's live classifier with the
+    // zones it just mined (pipe it through tools/dnsnoise-inspect).
+    session.enable_traffic_sketch(true);
     session.enable_telemetry(true, static_cast<std::uint16_t>(serve_port));
     if (!session.telemetry()->running()) {
       std::fprintf(stderr, "telemetry: %s\n",
@@ -101,7 +108,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("serving telemetry on http://127.0.0.1:%u/ "
-                "(/metrics /healthz /trace)\n",
+                "(/metrics /healthz /trace /traffic)\n",
                 static_cast<unsigned>(session.telemetry()->port()));
     std::fflush(stdout);
   }
@@ -113,11 +120,25 @@ int main(int argc, char** argv) {
     session.scale(day_scale);
     const bool traced = day == 0 && !trace_path.empty();
     if (traced) session.enable_tracing(true, 64);
-    const EngineReport report =
-        session.simulate(ScenarioDate::kDec30, capture, base_day + day);
-    if (!report.ok()) {
-      std::fprintf(stderr, "day %d failed: %s\n", day, report.error.c_str());
-      return 1;
+    if (serve) {
+      // Full mining day: each finished day's findings arm the live
+      // classifier that /traffic applies to the next day's stream
+      // (yesterday's model on today's traffic, the paper's protocol).
+      const MiningDayResult result =
+          session.run(ScenarioDate::kDec30, capture, base_day + day);
+      if (!result.ok()) {
+        std::fprintf(stderr, "day %d failed: %s\n", day,
+                     result.error.c_str());
+        return 1;
+      }
+    } else {
+      const EngineReport report =
+          session.simulate(ScenarioDate::kDec30, capture, base_day + day);
+      if (!report.ok()) {
+        std::fprintf(stderr, "day %d failed: %s\n", day,
+                     report.error.c_str());
+        return 1;
+      }
     }
     if (traced) {
       const std::string json = obs::to_json(

@@ -109,6 +109,17 @@ MiningSession& MiningSession::enable_telemetry(bool enabled,
   return *this;
 }
 
+MiningSession& MiningSession::enable_traffic_sketch(
+    bool enabled, const obs::TrafficSketchConfig& config) {
+  sketch_ =
+      enabled ? std::make_shared<obs::TrafficSketchPlane>(config) : nullptr;
+  options_.sketch = sketch_.get();
+  // A running telemetry server serves the old plane on /traffic; rewire
+  // it (or drop the endpoint when the plane just went away).
+  if (telemetry_ != nullptr) restart_telemetry();
+  return *this;
+}
+
 MiningSession& MiningSession::enable_dns_server(
     bool enabled, std::uint16_t port, const DnsServerOptions& server) {
   server_enabled_ = enabled;
@@ -132,6 +143,16 @@ void MiningSession::restart_telemetry() {
   config.port = telemetry_port_;
   config.stall_seconds = telemetry_stall_seconds_;
   telemetry_ = std::make_shared<obs::TelemetryServer>(*metrics_, config);
+  if (sketch_ != nullptr) {
+    // Both callables run on the scrape thread; the shared_ptr copies keep
+    // the plane and registry alive even if the session re-enables them
+    // while a scrape is in flight.
+    const std::shared_ptr<obs::TrafficSketchPlane> plane = sketch_;
+    telemetry_->set_traffic_source([plane]() { return plane->to_json(); });
+    const std::shared_ptr<obs::MetricsRegistry> registry = metrics_;
+    telemetry_->set_metrics_refresh(
+        [plane, registry]() { plane->publish_gauges(*registry); });
+  }
   telemetry_->start();
 }
 
@@ -175,6 +196,10 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
   }
 
   capture.start_day(day_index);
+  // One sketch shard per engine shard, created up front so run_shard only
+  // reads stable references (plane growth is not hot-path safe).
+  obs::TrafficSketchPlane* const sketch = sketch_.get();
+  if (sketch != nullptr) sketch->ensure_shards(shard_count);
 
   std::vector<ShardResult> shards;
   shards.reserve(shard_count);
@@ -254,12 +279,19 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
       }
       shard.capture.start_day(day_index);
       shard.capture.attach(cluster);
+      // The traffic plane observes the measured day only (not warmup),
+      // one sketch shard per engine shard — single writer, this thread —
+      // through the cluster's wait-free hook, not the copying tap.
+      obs::TrafficSketch* const sketch_shard =
+          sketch != nullptr ? &sketch->shard(index) : nullptr;
+      if (sketch_shard != nullptr) cluster.set_traffic_sketch(sketch_shard);
       // Instrument the measured day only; warmup queries already fed above
       // through an uninstrumented generator.
       scenario.traffic().set_metrics(metrics);
       scenario.traffic().set_trace(trace, static_cast<std::uint32_t>(index));
       scenario.traffic().run_day_shard(day_index, spec, feed);
       cluster.flush_taps();
+      if (sketch_shard != nullptr) cluster.set_traffic_sketch(nullptr);
       shard.capture.detach(cluster);
       shard.counters.stats = cluster.aggregate_stats();
       shard.counters.below_answers = cluster.below_answers();
@@ -320,13 +352,17 @@ EngineReport MiningSession::simulate(ScenarioDate date, DayCapture& capture,
 }
 
 MiningDayResult MiningSession::run(ScenarioDate date) {
+  DayCapture capture(options_.capture);
+  return run(date, capture, scenario_day_index(date));
+}
+
+MiningDayResult MiningSession::run(ScenarioDate date, DayCapture& capture,
+                                   std::int64_t day_index) {
   // Nested with simulate()'s scope (add/sub gauge), so /healthz sees the
   // run as active through the mining stages too.
   const obs::RunActiveScope run_active(metrics_.get());
   Scenario scenario(date, options_.scale);
-  DayCapture capture(options_.capture);
-  const EngineReport report =
-      simulate(date, capture, scenario_day_index(date));
+  const EngineReport report = simulate(date, capture, day_index);
   if (!report.ok()) {
     MiningDayResult result;
     result.status = report.status;
@@ -344,6 +380,18 @@ MiningDayResult MiningSession::run(ScenarioDate date) {
   // serve that exact document on /trace.
   if (telemetry_ != nullptr && !result.trace_json.empty()) {
     telemetry_->publish_trace(result.trace_json);
+  }
+  if (sketch_ != nullptr && result.ok()) {
+    // Today's mined zones become the live classifier for the next day —
+    // the paper's protocol (yesterday's model applied to today's traffic)
+    // carried into the streaming plane.
+    std::vector<std::string> zones;
+    zones.reserve(result.findings.size());
+    for (const DisposableZoneFinding& finding : result.findings) {
+      zones.push_back(finding.zone);
+    }
+    sketch_->set_disposable_zones(std::move(zones));
+    if (metrics_ != nullptr) sketch_->publish_gauges(*metrics_);
   }
   return result;
 }

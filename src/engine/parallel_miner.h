@@ -33,6 +33,7 @@
 #include "engine/serve.h"
 #include "engine/shard_merge.h"
 #include "miner/pipeline.h"
+#include "obs/sketch/traffic_sketch.h"
 
 namespace dnsnoise::obs {
 class MetricsRegistry;
@@ -106,6 +107,18 @@ class MiningSession {
   /// and drops the server.
   MiningSession& enable_telemetry(bool enabled = true, std::uint16_t port = 0,
                                   double stall_seconds = 30.0);
+  /// Opt-in streaming traffic introspection (DESIGN.md §17): creates (or
+  /// drops) the session's TrafficSketchPlane.  Enabled, every engine
+  /// shard's below-stream answers feed a per-shard sketch set (heavy
+  /// hitters, cardinality, windowed disposable-share); the merged
+  /// dnsnoise-traffic-v1 document is served live on GET /traffic when
+  /// telemetry is on, traffic.* gauges land in /metrics, and after each
+  /// run() the day's mined zones become the plane's live classifier for
+  /// the next day.  Findings are byte-identical with the plane on or off
+  /// (TrafficPlane.* tests), and threads(N) produces byte-identical
+  /// sketch output to threads(1).  Re-enabling resets collected sketches.
+  MiningSession& enable_traffic_sketch(
+      bool enabled = true, const obs::TrafficSketchConfig& config = {});
   /// Opt-in DNS server mode (DESIGN.md §14): configures serve() to answer
   /// RFC 1035 wire queries on UDP 127.0.0.1:<port> (0 picks an ephemeral
   /// port) with TCP fallback for truncated responses.  `server` supplies
@@ -127,6 +140,12 @@ class MiningSession {
   /// was called.  Valid until the session is destroyed or telemetry is
   /// re-/dis-abled.
   obs::TelemetryServer* telemetry() const noexcept { return telemetry_.get(); }
+  /// The session's live traffic plane — null unless enable_traffic_sketch()
+  /// was called.  Valid until the session is destroyed or the plane is
+  /// re-/dis-abled.
+  obs::TrafficSketchPlane* traffic_sketch() const noexcept {
+    return sketch_.get();
+  }
 
   /// Simulates one sharded day into `capture` (start_day(day_index)-reset
   /// here, the engine's single reset point — mirrors simulate_day), without
@@ -139,6 +158,13 @@ class MiningSession {
   /// Runs the full mining day (simulate + label/train + parallel classify +
   /// evaluate).  Check result.ok() before using the findings.
   MiningDayResult run(ScenarioDate date);
+  /// Same full mining day into a caller-owned capture with an explicit
+  /// engine day index (mirrors the simulate() overloads).  Multi-day
+  /// campaign drivers use this so each finished day's findings arm the
+  /// live traffic classifier while they keep the capture for their own
+  /// hourly tables.
+  MiningDayResult run(ScenarioDate date, DayCapture& capture,
+                      std::int64_t day_index);
 
   /// Starts the day in server mode: warmup runs in-process, then queries
   /// arrive over the socket at ->udp_port() and feed the same tap/metrics
@@ -164,6 +190,7 @@ class MiningSession {
   DnsServerOptions server_options_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::TraceCollector> trace_;
+  std::shared_ptr<obs::TrafficSketchPlane> sketch_;
   std::shared_ptr<obs::TelemetryServer> telemetry_;
   std::uint16_t telemetry_port_ = 0;
   double telemetry_stall_seconds_ = 30.0;

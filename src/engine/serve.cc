@@ -4,6 +4,7 @@
 
 #include "engine/parallel_miner.h"
 #include "obs/heartbeat.h"
+#include "obs/sketch/traffic_sketch.h"
 
 namespace dnsnoise {
 
@@ -63,6 +64,14 @@ ServedMiningDay::ServedMiningDay(
   capture_.start_day(day_index_);
   capture_.attach(*cluster_);
   attached_ = true;
+  if (options_.sketch != nullptr) {
+    // One cluster, serialized under the frontend's cluster mutex — a
+    // single logical writer, so the served day feeds sketch shard 0
+    // through the wait-free hook (the mutex orders ring appends).
+    options_.sketch->ensure_shards(1);
+    sketch_shard_ = &options_.sketch->shard(0);
+    cluster_->set_traffic_sketch(sketch_shard_);
+  }
 
   WireFrontendConfig frontend_config;
   frontend_config.udp.port = server.port;
@@ -81,8 +90,11 @@ ServedMiningDay::ServedMiningDay(
     // before the frontend is destroyed (finish/destructor), so the
     // telemetry server never scrapes a dangling pointer.
     WireFrontend* frontend = frontend_.get();
-    telemetry_->set_slowlog_source(
-        [frontend]() { return frontend->slowlog_json(); });
+    telemetry_->set_slowlog_source(obs::SlowlogSource{
+        [frontend](std::size_t max_entries) {
+          return frontend->slowlog_json(max_entries);
+        },
+        [frontend]() { frontend->clear_slowlog(); }});
   }
 }
 
@@ -98,6 +110,10 @@ ServedMiningDay::~ServedMiningDay() {
   frontend_->stop();
   if (attached_) {
     cluster_->flush_taps();
+    if (sketch_shard_ != nullptr) {
+      cluster_->set_traffic_sketch(nullptr);
+      sketch_shard_ = nullptr;
+    }
     capture_.detach(*cluster_);
   }
 }
@@ -124,6 +140,10 @@ MiningDayResult ServedMiningDay::finish() {
   frontend_->flush_latency_metrics();
   frontend_->stop();
   cluster_->flush_taps();
+  if (sketch_shard_ != nullptr) {
+    cluster_->set_traffic_sketch(nullptr);
+    sketch_shard_ = nullptr;
+  }
   capture_.detach(*cluster_);
   attached_ = false;
 
@@ -139,7 +159,18 @@ MiningDayResult ServedMiningDay::finish() {
   // trainer with no usable rows, which surfaces as a throw deep in
   // labeling/training.  That is an undermined day, not a crash.
   try {
-    return finish_mining_day(capture_, scenario_, options_, mine);
+    result = finish_mining_day(capture_, scenario_, options_, mine);
+    if (options_.sketch != nullptr && result.ok()) {
+      // The served day's mined zones arm the live classifier for the
+      // next served day (MiningSession::run does the same).
+      std::vector<std::string> zones;
+      zones.reserve(result.findings.size());
+      for (const DisposableZoneFinding& finding : result.findings) {
+        zones.push_back(finding.zone);
+      }
+      options_.sketch->set_disposable_zones(std::move(zones));
+    }
+    return result;
   } catch (const std::exception& ex) {
     result.status = MiningDayStatus::kEmptyCapture;
     result.error = std::string("mining the served day failed (too little "

@@ -27,6 +27,10 @@
 #include "obs/telemetry_server.h"
 #include "resolver/wire_frontend.h"
 
+namespace dnsnoise::obs {
+class TrafficSketch;
+}  // namespace dnsnoise::obs
+
 namespace dnsnoise {
 
 /// Server-mode knobs, layered on top of the session's PipelineOptions.
@@ -96,6 +100,9 @@ class ServedMiningDay {
   std::string error_;
   bool attached_ = false;
   bool finished_ = false;
+  /// Shard 0 of options_.sketch while attached to the cluster's
+  /// traffic-sketch hook.
+  obs::TrafficSketch* sketch_shard_ = nullptr;
   std::shared_ptr<obs::TelemetryServer> telemetry_;
   // Declaration order is load-bearing: the frontend references the
   // cluster (stop threads first), and the cluster's destructor flushes

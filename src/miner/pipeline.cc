@@ -4,6 +4,7 @@
 #include "obs/json_snapshot.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/sketch/traffic_sketch.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -64,10 +65,19 @@ DnsCacheStats simulate_day(Scenario& scenario, DayCapture& capture,
   }
   capture.start_day(day_index);
   capture.attach(cluster);
+  // The traffic plane rides the cluster's wait-free hook: one cluster,
+  // one writer, so the classic path feeds shard 0.
+  obs::TrafficSketch* sketch_shard = nullptr;
+  if (options.sketch != nullptr) {
+    options.sketch->ensure_shards(1);
+    sketch_shard = &options.sketch->shard(0);
+    cluster.set_traffic_sketch(sketch_shard);
+  }
   drive_day(scenario.traffic(), cluster, day_index, &heartbeat);
   // Flush pending tap batches and detach: the capture may outlive this
   // cluster.
   cluster.flush_taps();
+  if (sketch_shard != nullptr) cluster.set_traffic_sketch(nullptr);
   capture.detach(cluster);
   return cluster.aggregate_stats();
 }

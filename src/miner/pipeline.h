@@ -20,6 +20,7 @@
 namespace dnsnoise::obs {
 class MetricsRegistry;
 class TraceCollector;
+class TrafficSketchPlane;
 }  // namespace dnsnoise::obs
 
 namespace dnsnoise {
@@ -53,6 +54,13 @@ struct PipelineOptions {
   /// run.  Null (the default) disables all tracing; enabled, mining
   /// results are provably unchanged (TracePipeline.* tests).
   obs::TraceCollector* trace = nullptr;
+  /// Opt-in streaming traffic introspection (DESIGN.md §17): when set,
+  /// the measured day's below-stream answers additionally feed this
+  /// sketch plane (shard 0 on the classic single-cluster path; one shard
+  /// per engine shard in MiningSession).  Must outlive the run.  Null
+  /// (the default) attaches nothing — zero hot-path overhead — and
+  /// findings are byte-identical either way (TrafficPlane.* tests).
+  obs::TrafficSketchPlane* sketch = nullptr;
   /// Opt-in live telemetry endpoint (DESIGN.md §13): when non-zero and
   /// `metrics` is set, run_mining_day serves GET /metrics (OpenMetrics),
   /// /healthz, and /trace on 127.0.0.1:<port> for the duration of the

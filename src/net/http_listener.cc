@@ -149,18 +149,24 @@ void HttpListener::serve_connection(int client_fd) {
       !parse_request_line(head, request)) {
     response.status = 400;
     response.body = "malformed request\n";
-  } else if (request.method != "GET" && request.method != "HEAD") {
+  } else if (request.method != "GET" && request.method != "HEAD" &&
+             request.method != "POST") {
+    // Answer, don't hang up: a proper 405 with Allow tells the client
+    // what this endpoint speaks (RFC 9110 §15.5.6).
     response.status = 405;
-    response.body = "only GET is supported\n";
+    response.body = "method not allowed\n";
+    response.headers.emplace_back("Allow", "GET, HEAD, POST");
   } else {
     response = handler_(request);
   }
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     std::string(http_status_reason(response.status)) +
-                    "\r\nContent-Type: " + response.content_type +
-                    "\r\nContent-Length: " +
-                    std::to_string(response.body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\nContent-Type: " + response.content_type + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) +
+         "\r\nConnection: close\r\n\r\n";
   if (request.method != "HEAD") out += response.body;
   write_all(client_fd, out);
 }

@@ -18,6 +18,8 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace dnsnoise::net {
 
@@ -30,6 +32,9 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. {"Allow", "GET, HEAD, POST"} on 405),
+  /// emitted verbatim after Content-Type.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Standard reason phrase for the handful of statuses the listener emits

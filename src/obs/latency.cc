@@ -171,8 +171,17 @@ std::vector<SlowQueryEntry> SlowQueryLog::entries() const {
   return out;
 }
 
-std::string SlowQueryLog::to_json() const {
-  const std::vector<SlowQueryEntry> sorted = entries();
+void SlowQueryLog::clear() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+  threshold_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string SlowQueryLog::to_json(std::size_t max_entries) const {
+  std::vector<SlowQueryEntry> sorted = entries();
+  if (max_entries != 0 && sorted.size() > max_entries) {
+    sorted.resize(max_entries);  // already slowest first: keep the worst N
+  }
   std::string out = "{\n  \"schema\": \"dnsnoise-slowlog-v1\",\n";
   json_key(out, 2, "capacity");
   out += std::to_string(capacity_);

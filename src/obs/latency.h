@@ -218,9 +218,14 @@ class SlowQueryLog {
   /// The retained entries, slowest first.
   std::vector<SlowQueryEntry> entries() const;
 
+  /// Drops every recorded entry and re-opens admission (threshold back
+  /// to 0); POST /slowlog/clear ends up here.
+  void clear();
+
   /// dnsnoise-slowlog-v1 JSON (entries slowest first, stage breakdown in
   /// nanoseconds); served by obs/telemetry_server on GET /slowlog.
-  std::string to_json() const;
+  /// `max_entries` caps the emitted entries (0 = all retained).
+  std::string to_json(std::size_t max_entries = 0) const;
 
  private:
   std::size_t capacity_;

@@ -1,0 +1,85 @@
+// HyperLogLog cardinality estimator (Flajolet et al. 2007).
+//
+// Fixed 2^12 = 4096 byte registers, giving a standard relative error of
+// 1.04 / sqrt(4096) ~= 1.63% (HllErrorBound test pins 3 sigma of it on
+// seeded streams).  add_hash() consumes an already well-mixed 64-bit hash
+// — callers feed mix64() over the interned FNV-1a name hash, never raw
+// FNV output, because register selection uses the top bits and FNV's
+// avalanche is too weak there.
+//
+// The register array is a pure max-merge CRDT: merge_from() takes the
+// register-wise maximum, so merging per-shard estimators in any order
+// yields the same registers as one estimator over the union stream —
+// the determinism contract of the traffic plane rides on this.
+// Small cardinalities use the linear-counting correction, so exact-ish
+// counts survive the near-empty regime a fresh serve day starts in.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace dnsnoise::obs {
+
+class HllSketch {
+ public:
+  static constexpr unsigned kPrecision = 12;
+  static constexpr std::size_t kRegisterCount = std::size_t{1} << kPrecision;
+  /// Theoretical standard relative error: 1.04 / sqrt(m).
+  static constexpr double kStandardError = 1.04 / 64.0;
+
+  /// Records one element by its mixed 64-bit hash.
+  void add_hash(std::uint64_t hash) noexcept {
+    const std::size_t index =
+        static_cast<std::size_t>(hash >> (64 - kPrecision));
+    const std::uint64_t rest = hash << kPrecision;
+    // Rank = leading-zero run of the remaining bits + 1, capped at the
+    // all-zero case (52 zero bits observed).
+    const std::uint8_t rank =
+        rest == 0 ? static_cast<std::uint8_t>(64 - kPrecision + 1)
+                  : static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  /// Estimated distinct count, with the linear-counting small-range
+  /// correction below 2.5m.
+  double estimate() const noexcept {
+    constexpr double m = static_cast<double>(kRegisterCount);
+    constexpr double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double inverse_sum = 0.0;
+    std::size_t zeros = 0;
+    for (const std::uint8_t reg : registers_) {
+      inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+      zeros += reg == 0;
+    }
+    const double raw = alpha * m * m / inverse_sum;
+    if (raw <= 2.5 * m && zeros > 0) {
+      return m * std::log(m / static_cast<double>(zeros));
+    }
+    return raw;
+  }
+
+  bool empty() const noexcept {
+    for (const std::uint8_t reg : registers_) {
+      if (reg != 0) return false;
+    }
+    return true;
+  }
+
+  /// Register-wise max merge; order- and grouping-independent.
+  void merge_from(const HllSketch& other) noexcept {
+    for (std::size_t i = 0; i < kRegisterCount; ++i) {
+      registers_[i] = std::max(registers_[i], other.registers_[i]);
+    }
+  }
+
+  void clear() noexcept { registers_.fill(0); }
+
+ private:
+  std::array<std::uint8_t, kRegisterCount> registers_{};
+};
+
+}  // namespace dnsnoise::obs

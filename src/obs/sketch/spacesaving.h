@@ -1,0 +1,139 @@
+// Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005).
+//
+// Tracks the approximate top frequencies of an unbounded key stream in a
+// fixed number of counters: a key already monitored increments its
+// counter; an unmonitored key arriving at a full sketch takes over the
+// minimum counter, inheriting its count as the new counter's `error`
+// (overestimation bound).  Invariants the tests pin:
+//   * count - error <= true frequency <= count for every monitored key,
+//   * any key with true frequency > count_min is monitored, so the exact
+//     top-K is recalled whenever the stream is skewed enough that the
+//     K-th frequency exceeds the minimum counter (Zipf traffic is).
+//
+// The counter set is a binary min-heap keyed by count with a key->slot
+// index, making offer() O(log capacity) worst case and O(1) for the
+// already-monitored hot keys that dominate skewed streams.  The sketch is
+// single-writer (the traffic plane guards each shard instance with its
+// own mutex) and deterministic: the monitored set and all counts are a
+// pure function of the offered key sequence.
+//
+// Keys are 32-bit handles (interned NameId) — merging across shards must
+// remap through the interned text, never compare raw ids of different
+// tables (see traffic_sketch.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dnsnoise::obs {
+
+class SpaceSavingSketch {
+ public:
+  struct Counter {
+    std::uint32_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  // overestimation bound inherited on takeover
+  };
+
+  explicit SpaceSavingSketch(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    heap_.reserve(capacity_);
+    pos_.reserve(capacity_ * 2);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Total stream length offered so far.
+  std::uint64_t offered() const noexcept { return offered_; }
+
+  /// Records one occurrence of `key`.
+  void offer(std::uint32_t key) { offer(key, 1); }
+
+  /// Records `weight` occurrences of `key` at once.  Equivalent to (and
+  /// therefore interchangeable with) `weight` consecutive offer(key) calls:
+  /// the takeover rule charges the whole batch to one counter, inheriting
+  /// the evicted minimum as the error bound exactly as the unit-step rule
+  /// would after its first occurrence.  This is what lets the traffic
+  /// sketch keep exact per-name deltas on the hot path and fold them in at
+  /// flush boundaries without changing the sketch's invariants.
+  void offer(std::uint32_t key, std::uint64_t weight) {
+    if (weight == 0) return;
+    offered_ += weight;
+    const auto it = pos_.find(key);
+    if (it != pos_.end()) {
+      heap_[it->second].count += weight;
+      sift_down(it->second);
+      return;
+    }
+    if (heap_.size() < capacity_) {
+      heap_.push_back(Counter{key, weight, 0});
+      pos_[key] = heap_.size() - 1;
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    // Take over the minimum counter: the evicted key's count becomes the
+    // new key's error bound.
+    Counter& root = heap_.front();
+    pos_.erase(root.key);
+    root.error = root.count;
+    root.count += weight;
+    root.key = key;
+    pos_[key] = 0;
+    sift_down(0);
+  }
+
+  /// The monitored counters, unordered.  Callers rank by (count desc, key
+  /// text asc) for a deterministic top-K (see traffic_sketch.cc).
+  const std::vector<Counter>& counters() const noexcept { return heap_; }
+
+  void clear() noexcept {
+    heap_.clear();
+    pos_.clear();
+    offered_ = 0;
+  }
+
+ private:
+  // Min-heap by count; ties keep whatever order the operation sequence
+  // produced (still deterministic for a fixed stream).
+  bool less(std::size_t a, std::size_t b) const noexcept {
+    return heap_[a].count < heap_[b].count;
+  }
+
+  void swap_slots(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].key] = a;
+    pos_[heap_[b].key] = b;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(i, parent)) break;
+      swap_slots(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < heap_.size() && less(left, smallest)) smallest = left;
+      if (right < heap_.size() && less(right, smallest)) smallest = right;
+      if (smallest == i) return;
+      swap_slots(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::size_t capacity_;
+  std::uint64_t offered_ = 0;
+  std::vector<Counter> heap_;
+  std::unordered_map<std::uint32_t, std::size_t> pos_;
+};
+
+}  // namespace dnsnoise::obs

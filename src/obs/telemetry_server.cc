@@ -1,12 +1,68 @@
 #include "obs/telemetry_server.h"
 
 #include <algorithm>
+#include <charconv>
+#include <utility>
 
 #include "obs/heartbeat.h"
 #include "obs/json_writer.h"
 #include "obs/openmetrics.h"
 
 namespace dnsnoise::obs {
+
+namespace {
+
+/// One parsed key=value pair of a request's query string.
+struct QueryParam {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Strict query-string split: every non-empty '&'-segment must be
+/// key=value with a non-empty key.  Returns false on violation, with the
+/// offending segment in `bad` — the caller answers 400 instead of
+/// silently ignoring the malformed input.
+bool parse_query(std::string_view query, std::vector<QueryParam>& params,
+                 std::string_view& bad) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view segment = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (segment.empty()) continue;
+    const std::size_t eq = segment.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad = segment;
+      return false;
+    }
+    params.push_back(QueryParam{segment.substr(0, eq), segment.substr(eq + 1)});
+  }
+  return true;
+}
+
+bool parse_size(std::string_view value, std::size_t& out) {
+  const char* const end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+net::HttpResponse bad_request(std::string message) {
+  net::HttpResponse response;
+  response.status = 400;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = "{\"error\": \"" + json_escape(message) + "\"}\n";
+  return response;
+}
+
+net::HttpResponse method_not_allowed(std::string_view allow) {
+  net::HttpResponse response;
+  response.status = 405;
+  response.body = "method not allowed\n";
+  response.headers.emplace_back("Allow", std::string(allow));
+  return response;
+}
+
+}  // namespace
 
 HealthDocument render_health(const MetricsSnapshot& snapshot,
                              double now_seconds, double stall_seconds) {
@@ -82,18 +138,70 @@ void TelemetryServer::publish_trace(std::string trace_json) {
   trace_json_ = std::move(trace_json);
 }
 
-void TelemetryServer::set_slowlog_source(
-    std::function<std::string()> source) {
+void TelemetryServer::set_slowlog_source(SlowlogSource source) {
   const std::lock_guard lock(slowlog_mutex_);
   slowlog_source_ = std::move(source);
+}
+
+void TelemetryServer::set_traffic_source(std::function<std::string()> source) {
+  const std::lock_guard lock(traffic_mutex_);
+  traffic_source_ = std::move(source);
+}
+
+void TelemetryServer::set_metrics_refresh(std::function<void()> refresh) {
+  const std::lock_guard lock(refresh_mutex_);
+  metrics_refresh_ = std::move(refresh);
 }
 
 net::HttpResponse TelemetryServer::handle(
     const net::HttpRequest& request) const {
   net::HttpResponse response;
-  // Strip any query string: scrapers may append ?format=... style noise.
-  std::string path = request.target.substr(0, request.target.find('?'));
+  const std::size_t question_mark = request.target.find('?');
+  const std::string path = request.target.substr(0, question_mark);
+  // Strict query parsing on every endpoint: malformed is a 400, never
+  // silently ignored; well-formed parameters an endpoint does not
+  // recognize are fine (scrapers append ?format=... style noise).
+  std::vector<QueryParam> params;
+  if (question_mark != std::string::npos) {
+    std::string_view bad;
+    if (!parse_query(std::string_view(request.target).substr(question_mark + 1),
+                     params, bad)) {
+      return bad_request("malformed query parameter: " + std::string(bad) +
+                         " (expected key=value)");
+    }
+  }
+  const bool is_post = request.method == "POST";
+
+  if (path == "/slowlog/clear") {
+    if (!is_post) return method_not_allowed("POST");
+    std::function<void()> clear;
+    {
+      const std::lock_guard lock(slowlog_mutex_);
+      clear = slowlog_source_.clear;
+    }
+    if (!clear) {
+      response.status = 404;
+      response.content_type = "application/json; charset=utf-8";
+      response.body =
+          "{\"error\": \"no slow-query log attached; start a wire "
+          "front-end with metrics enabled\"}\n";
+      return response;
+    }
+    clear();
+    response.content_type = "application/json; charset=utf-8";
+    response.body = "{\"cleared\": true}\n";
+    return response;
+  }
+  // Every remaining endpoint is read-only.
+  if (is_post) return method_not_allowed("GET, HEAD");
+
   if (path == "/metrics") {
+    std::function<void()> refresh;
+    {
+      const std::lock_guard lock(refresh_mutex_);
+      refresh = metrics_refresh_;
+    }
+    if (refresh) refresh();
     response.content_type = std::string(kOpenMetricsContentType);
     response.body = to_openmetrics(registry_.snapshot(), config_.labels);
     return response;
@@ -121,17 +229,43 @@ net::HttpResponse TelemetryServer::handle(
     return response;
   }
   if (path == "/slowlog") {
-    std::function<std::string()> source;
+    std::size_t max_entries = 0;  // 0 = no cap
+    for (const QueryParam& param : params) {
+      if (param.key != "n") continue;
+      if (!parse_size(param.value, max_entries)) {
+        return bad_request("invalid n: " + std::string(param.value) +
+                           " (expected a non-negative integer)");
+      }
+    }
+    std::function<std::string(std::size_t)> render;
     {
       const std::lock_guard lock(slowlog_mutex_);
-      source = slowlog_source_;
+      render = slowlog_source_.render;
     }
-    if (!source) {
+    if (!render) {
       response.status = 404;
       response.content_type = "application/json; charset=utf-8";
       response.body =
           "{\"error\": \"no slow-query log attached; start a wire "
           "front-end with metrics enabled\"}\n";
+      return response;
+    }
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render(max_entries);
+    return response;
+  }
+  if (path == "/traffic") {
+    std::function<std::string()> source;
+    {
+      const std::lock_guard lock(traffic_mutex_);
+      source = traffic_source_;
+    }
+    if (!source) {
+      response.status = 404;
+      response.content_type = "application/json; charset=utf-8";
+      response.body =
+          "{\"error\": \"no traffic sketch plane attached; enable traffic "
+          "introspection\"}\n";
       return response;
     }
     response.content_type = "application/json; charset=utf-8";
@@ -144,12 +278,14 @@ net::HttpResponse TelemetryServer::handle(
         "  /metrics  OpenMetrics exposition of the live registry\n"
         "  /healthz  per-stage liveness (200 ok/idle, 503 stalled)\n"
         "  /trace    latest dnsnoise-trace-v1 snapshot\n"
-        "  /slowlog  worst-N slow queries with stage breakdowns\n";
+        "  /slowlog  worst-N slow queries with stage breakdowns (?n=N)\n"
+        "  /traffic  live dnsnoise-traffic-v1 sketch snapshot\n";
     return response;
   }
   response.status = 404;
   response.body =
-      "unknown endpoint; try /metrics, /healthz, /trace, /slowlog\n";
+      "unknown endpoint; try /metrics, /healthz, /trace, /slowlog, "
+      "/traffic\n";
   return response;
 }
 

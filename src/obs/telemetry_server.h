@@ -15,8 +15,20 @@
 //                 (publish_trace), 404 before the first snapshot,
 //   GET /slowlog  the live dnsnoise-slowlog-v1 document of the wired
 //                 slow-query log (set_slowlog_source), 404 when no
-//                 source is attached,
+//                 source is attached; ?n=N caps the returned entries,
+//   POST /slowlog/clear
+//                 drops all recorded slow queries (and the admission
+//                 threshold) of the wired log,
+//   GET /traffic  the live dnsnoise-traffic-v1 document of the wired
+//                 traffic sketch plane (set_traffic_source), 404 when
+//                 no plane is attached,
 //   GET /         a plain-text index of the above.
+//
+// Query strings are parsed strictly: a malformed query (a segment
+// without '=', an empty key, or an invalid value for a recognized
+// parameter) is a 400, never silently ignored.  Well-formed parameters
+// an endpoint does not recognize are ignored, so scrapers may append
+// ?format=... style noise.
 //
 // Obs contract: strictly opt-in (MiningSession::enable_telemetry /
 // PipelineOptions::telemetry_port), zero hot-path overhead — every
@@ -63,6 +75,19 @@ struct HealthDocument {
   std::string json;  // schema dnsnoise-health-v1
 };
 
+/// The GET /slowlog + POST /slowlog/clear wiring.  Both callables run on
+/// the scrape thread, must be thread-safe, and must stay valid until the
+/// source is replaced — owners with a shorter lifetime than the server
+/// (a served day's wire frontend) must detach on teardown.
+struct SlowlogSource {
+  /// Renders the dnsnoise-slowlog-v1 document, returning at most
+  /// `max_entries` entries (0 = no cap).
+  std::function<std::string(std::size_t max_entries)> render;
+  /// Drops all recorded entries (POST /slowlog/clear); optional — when
+  /// absent the endpoint answers 404.
+  std::function<void()> clear;
+};
+
 /// Pure health evaluation (unit-testable without sockets): derives
 /// per-stage ages from the obs.heartbeat.* gauges in `snapshot` against
 /// `now_seconds` (pass heartbeat_clock_seconds()).  Freshness is only
@@ -97,11 +122,20 @@ class TelemetryServer {
   /// of the scrape thread pulling mid-run.
   void publish_trace(std::string trace_json);
 
-  /// Attaches (or, with nullptr, detaches) the GET /slowlog source.  The
-  /// callable is invoked on the scrape thread and must be thread-safe
-  /// and valid until replaced — owners with a shorter lifetime than the
-  /// server (a served day's wire frontend) must clear it on teardown.
-  void set_slowlog_source(std::function<std::string()> source);
+  /// Attaches (or, with an empty render, detaches) the /slowlog source.
+  void set_slowlog_source(SlowlogSource source);
+
+  /// Attaches (or, with nullptr, detaches) the GET /traffic source —
+  /// TrafficSketchPlane::to_json of the live plane.  Same contract as
+  /// the slowlog source: runs on the scrape thread, must be thread-safe
+  /// and valid until replaced.
+  void set_traffic_source(std::function<std::string()> source);
+
+  /// Hook run on the scrape thread just before every /metrics snapshot;
+  /// the session wires TrafficSketchPlane::publish_gauges here so the
+  /// traffic.* gauges are fresh at scrape time without any hot-path
+  /// publication.  nullptr detaches.
+  void set_metrics_refresh(std::function<void()> refresh);
 
   /// Serves one request; exposed for tests (the listener calls this).
   net::HttpResponse handle(const net::HttpRequest& request) const;
@@ -113,7 +147,11 @@ class TelemetryServer {
   mutable std::mutex trace_mutex_;
   std::string trace_json_;
   mutable std::mutex slowlog_mutex_;
-  std::function<std::string()> slowlog_source_;
+  SlowlogSource slowlog_source_;
+  mutable std::mutex traffic_mutex_;
+  std::function<std::string()> traffic_source_;
+  mutable std::mutex refresh_mutex_;
+  std::function<void()> metrics_refresh_;
 };
 
 }  // namespace dnsnoise::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/sketch/traffic_sketch.h"
 
 namespace dnsnoise {
 
@@ -94,7 +95,20 @@ void RdnsCluster::update_sink_adapter() {
   }
 }
 
+void RdnsCluster::set_traffic_sketch(obs::TrafficSketch* sketch) {
+  // Drain before swapping so each sketch sees exactly the queries served
+  // while it was attached (same no-drop contract as remove_tap_observer).
+  if (traffic_sketch_ != nullptr) traffic_sketch_->flush_pending();
+  traffic_sketch_ = sketch;
+  if (sketch == nullptr) return;
+  std::vector<const NameTable*> tables;
+  tables.reserve(caches_.size());
+  for (const DnsCache& cache : caches_) tables.push_back(&cache.names());
+  sketch->bind_sources(std::move(tables));
+}
+
 void RdnsCluster::flush_taps() {
+  if (traffic_sketch_ != nullptr) traffic_sketch_->flush_pending();
   if (tap_events_.empty()) return;
   if (tap_batch_size_ != nullptr) {
     tap_batch_size_->record(static_cast<double>(tap_events_.size()));
@@ -154,7 +168,20 @@ QueryView RdnsCluster::query_view(std::uint64_t client_id,
   const bool traced = trace != nullptr && trace->sampler.sample();
   const std::uint64_t trace_start = traced ? trace_->now_ns() : 0;
 
-  if (const CachedAnswer* cached = cache.lookup(qname, question.type, now)) {
+  // Traffic-sketch hook: intern the qname up front — one pass over the
+  // name bytes, exactly what lookup()'s own probe costs — so the sketch
+  // can be handed a table-stable id once the outcome is known.  The
+  // interned probe reuses the stored hash instead of rehashing.
+  obs::TrafficSketch* const sketch = traffic_sketch_;
+  NameId sketch_name = kInvalidNameId;
+  const CachedAnswer* cached;
+  if (sketch == nullptr) {
+    cached = cache.lookup(qname, question.type, now);
+  } else {
+    sketch_name = cache.intern_name(qname);
+    cached = cache.lookup_interned(sketch_name, question.type, now);
+  }
+  if (cached != nullptr) {
     view.rcode = cached->rcode;
     view.cache_hit = true;
     view.answers = cached->answers;
@@ -207,6 +234,10 @@ QueryView RdnsCluster::query_view(std::uint64_t client_id,
   if (!observers_.empty()) {
     buffer_tap_event(now, TapDirection::kBelow, client_id, question,
                      view.rcode, view.answers);
+  }
+  if (sketch != nullptr && !qname.empty()) {
+    sketch->observe(static_cast<std::uint32_t>(view.server), sketch_name,
+                    client_id, view.rcode, now);
   }
   if (traced) {
     const obs::TraceOutcome outcome =

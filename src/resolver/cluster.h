@@ -26,6 +26,7 @@ namespace dnsnoise::obs {
 class Counter;
 class Histogram;
 class MetricsRegistry;
+class TrafficSketch;
 }  // namespace dnsnoise::obs
 
 namespace dnsnoise {
@@ -127,6 +128,24 @@ class RdnsCluster {
   /// adapter is not counted).
   std::size_t tap_observer_count() const noexcept {
     return observers_.size() - (sink_adapter_registered_ ? 1 : 0);
+  }
+
+  // --- Traffic-sketch hook (DESIGN.md §17) ---------------------------------
+
+  /// Attaches the streaming traffic sketch to the dedicated wait-free
+  /// hook: every answered client query is recorded as (server, interned
+  /// cache NameId, client, rcode, ts) — a ring append, no event copies,
+  /// no extra hashing (the cache interns the qname in place of its normal
+  /// lookup probe).  The sketch's source tables are bound to this
+  /// cluster's caches; it must outlive the cluster or be detached first.
+  /// Passing nullptr detaches, draining the sketch's pending ring so
+  /// day-end exports observe every event.  Detached (the default), the
+  /// hook costs exactly one predicted branch per query.  Writer-thread
+  /// only, like query_view itself.
+  void set_traffic_sketch(obs::TrafficSketch* sketch);
+
+  obs::TrafficSketch* traffic_sketch() const noexcept {
+    return traffic_sketch_;
   }
 
   // --- Legacy sink API (deprecated shims) ----------------------------------
@@ -253,6 +272,7 @@ class RdnsCluster {
   std::vector<ResourceRecord> miss_answers_;
   SinkAdapter sink_adapter_;
   bool sink_adapter_registered_ = false;
+  obs::TrafficSketch* traffic_sketch_ = nullptr;
   std::uint64_t below_answers_ = 0;
   std::uint64_t above_answers_ = 0;
   std::uint64_t dnssec_validations_ = 0;

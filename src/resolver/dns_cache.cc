@@ -45,6 +45,24 @@ const CachedAnswer* DnsCache::lookup(std::string_view name, RRType type,
   return entry;
 }
 
+const CachedAnswer* DnsCache::lookup_interned(NameId id, RRType type,
+                                              SimTime now) {
+  now_ = now;
+  const Key key = make_key(id, type);
+  CachedAnswer* entry = cache_.get(key);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (entry->expires <= now) {
+    cache_.erase(key);
+    ++stats_.expired_misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return entry;
+}
+
 const CachedAnswer* DnsCache::insert_positive(
     std::string_view name, RRType type, std::vector<ResourceRecord>& answers,
     SimTime now, bool disposable_hint) {

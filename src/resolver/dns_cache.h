@@ -90,6 +90,23 @@ class DnsCache {
   /// allocates; the pointer stays valid until the next mutating call.
   const CachedAnswer* lookup(std::string_view name, RRType type, SimTime now);
 
+  /// Interns `name` into the cache's qname pool and returns its stable id.
+  /// Unlike lookup(), this registers names the cache has never answered for
+  /// (NXDOMAIN noise under negative_cache=false never reaches insert_*), so
+  /// the traffic-sketch hook can key *every* query by a dense per-server id
+  /// whose text and hash outlive the query.  Hashing cost is identical to
+  /// lookup()'s own probe — one pass over the name bytes.
+  NameId intern_name(std::string_view name) { return names_.intern(name); }
+
+  /// lookup() for a pre-interned qname: same stats tallies, same expiry
+  /// eviction, but keyed by id so the name bytes are not rehashed.  Pair
+  /// with intern_name() when the caller needs the id anyway.
+  const CachedAnswer* lookup_interned(NameId id, RRType type, SimTime now);
+
+  /// The cache's qname intern pool (id -> text/hash).  Arena-stable views;
+  /// the traffic sketch resolves ring records through this table.
+  const NameTable& names() const noexcept { return names_; }
+
   /// Inserts a positive answer and returns the resident entry, or nullptr
   /// when the answer is uncacheable (empty set or effective TTL 0 after the
   /// [min_ttl, max_ttl] clamp).  `answers` is consumed (moved from) only on

@@ -132,7 +132,13 @@ class WireFrontend {
 
   /// dnsnoise-slowlog-v1 JSON of the worst-N queries (obs::SlowQueryLog);
   /// wire it to TelemetryServer::set_slowlog_source for GET /slowlog.
-  std::string slowlog_json() const { return slowlog_.to_json(); }
+  /// `max_entries` caps the emitted entries (0 = all retained).
+  std::string slowlog_json(std::size_t max_entries = 0) const {
+    return slowlog_.to_json(max_entries);
+  }
+
+  /// Drops all recorded slow queries (POST /slowlog/clear).
+  void clear_slowlog() { slowlog_.clear(); }
 
   /// The slowest retained queries with stage breakdowns, slowest first.
   std::vector<obs::SlowQueryEntry> slow_queries() const {

@@ -304,6 +304,35 @@ TEST(SlowQueryLog, JsonCarriesSchemaAndBreakdown) {
   EXPECT_NE(json.find("\"cluster_ns\": 500"), std::string::npos);
 }
 
+TEST(SlowQueryLog, JsonEntryCapKeepsTheWorstN) {
+  SlowQueryLog log(8);
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    log.maybe_add(make_entry(i * 100, "q" + std::to_string(i) + "."));
+  }
+  // Cap 2: only the two slowest entries survive, worst first.
+  const std::string capped = log.to_json(2);
+  EXPECT_NE(capped.find("\"q8.\""), std::string::npos);
+  EXPECT_NE(capped.find("\"q7.\""), std::string::npos);
+  EXPECT_EQ(capped.find("\"q6.\""), std::string::npos);
+  // Cap 0 and cap >= size both emit everything.
+  EXPECT_EQ(log.to_json(0), log.to_json(64));
+  EXPECT_NE(log.to_json(0).find("\"q1.\""), std::string::npos);
+}
+
+TEST(SlowQueryLog, ClearDropsEntriesAndReopensAdmission) {
+  SlowQueryLog log(2);
+  log.maybe_add(make_entry(100, "a."));
+  log.maybe_add(make_entry(300, "b."));
+  EXPECT_FALSE(log.would_admit(50));  // full: floor is 100
+  log.clear();
+  EXPECT_TRUE(log.entries().empty());
+  EXPECT_TRUE(log.would_admit(1));  // threshold back to zero
+  log.maybe_add(make_entry(10, "after."));
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].qname, "after.");
+}
+
 TEST(SlowQueryLog, ConcurrentAddsStayBounded) {
   SlowQueryLog log(8);
   std::vector<std::thread> threads;

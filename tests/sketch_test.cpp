@@ -1,0 +1,501 @@
+// Streaming sketch primitives (obs/sketch): Space-Saving invariants and
+// exact top-K recall on Zipf(1.0) traffic, HyperLogLog error bound and
+// CRDT merge, the sliding-window ring, the live disposable classifier,
+// and the byte-stable dnsnoise-traffic-v1 export with its deterministic
+// cross-shard merge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "obs/metrics.h"
+#include "obs/sketch/hll.h"
+#include "obs/sketch/spacesaving.h"
+#include "obs/sketch/traffic_sketch.h"
+#include "resolver/tap.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace dnsnoise {
+namespace {
+
+using obs::HllSketch;
+using obs::SpaceSavingSketch;
+using obs::TrafficHeavyHitter;
+using obs::TrafficSketch;
+using obs::TrafficSketchConfig;
+using obs::TrafficSketchPlane;
+using obs::TrafficSnapshot;
+
+// --- Space-Saving -----------------------------------------------------------
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (std::uint32_t key = 0; key < 4; ++key) {
+    for (std::uint32_t i = 0; i <= key; ++i) sketch.offer(key);
+  }
+  EXPECT_EQ(sketch.size(), 4u);
+  EXPECT_EQ(sketch.offered(), 1u + 2 + 3 + 4);
+  for (const SpaceSavingSketch::Counter& counter : sketch.counters()) {
+    EXPECT_EQ(counter.count, counter.key + 1u);
+    EXPECT_EQ(counter.error, 0u);  // never evicted: exact
+  }
+}
+
+TEST(SpaceSaving, InvariantsHoldUnderEviction) {
+  // 4 counters, 20 distinct keys: constant churn.  The classic guarantees
+  // must survive: counts sum to the stream length, and for every
+  // monitored key count - error <= true frequency <= count.
+  SpaceSavingSketch sketch(4);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    // Skewed synthetic stream: low keys dominate.
+    const auto key = static_cast<std::uint32_t>(
+        rng.below(rng.below(19) + 1));
+    ++truth[key];
+    sketch.offer(key);
+  }
+  std::uint64_t total = 0;
+  for (const SpaceSavingSketch::Counter& counter : sketch.counters()) {
+    total += counter.count;
+    EXPECT_LE(truth[counter.key], counter.count) << counter.key;
+    EXPECT_GE(truth[counter.key], counter.count - counter.error)
+        << counter.key;
+  }
+  EXPECT_EQ(total, sketch.offered());
+  EXPECT_EQ(sketch.offered(), 10'000u);
+}
+
+TEST(SpaceSaving, ExactTopKRecallOnZipfTraffic) {
+  // The paper-shaped workload: Zipf(1.0) ranks.  With counters >> K the
+  // monitored set must contain the true top-K exactly, and rank them in
+  // the true order — this is the property the /traffic top table rides on.
+  constexpr std::size_t kKeys = 10'000;
+  constexpr std::size_t kStream = 200'000;
+  constexpr std::size_t kTopK = 16;
+  ZipfSampler zipf(kKeys, 1.0);
+  Rng rng(0x5eedu);
+  SpaceSavingSketch sketch(512);
+  std::vector<std::uint64_t> truth(kKeys, 0);
+  for (std::size_t i = 0; i < kStream; ++i) {
+    const auto key = static_cast<std::uint32_t>(zipf.sample(rng));
+    ++truth[key];
+    sketch.offer(key);
+  }
+
+  const auto rank = [](std::vector<std::pair<std::uint64_t, std::uint32_t>>&
+                           keyed) {
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+  };
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> true_ranked;
+  for (std::uint32_t key = 0; key < kKeys; ++key) {
+    if (truth[key] > 0) true_ranked.emplace_back(truth[key], key);
+  }
+  rank(true_ranked);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> sketch_ranked;
+  for (const SpaceSavingSketch::Counter& counter : sketch.counters()) {
+    sketch_ranked.emplace_back(counter.count, counter.key);
+  }
+  rank(sketch_ranked);
+
+  ASSERT_GE(sketch_ranked.size(), kTopK);
+  for (std::size_t i = 0; i < kTopK; ++i) {
+    EXPECT_EQ(sketch_ranked[i].second, true_ranked[i].second) << "rank " << i;
+    // The head of a skewed stream is monitored from early on and never
+    // evicted, so its counts are not just bounded but exact.
+    EXPECT_EQ(sketch_ranked[i].first, true_ranked[i].first) << "rank " << i;
+  }
+}
+
+TEST(SpaceSaving, WeightedOfferEqualsRepeatedUnitOffers) {
+  // offer(key, w) must be interchangeable with w consecutive offer(key)
+  // calls — the traffic sketch relies on this to fold exact per-name
+  // deltas at flush boundaries without changing what the sketch says.
+  SpaceSavingSketch unit(4);
+  SpaceSavingSketch weighted(4);
+  Rng rng(11);
+  for (int round = 0; round < 2'000; ++round) {
+    const auto key = static_cast<std::uint32_t>(rng.below(rng.below(19) + 1));
+    const std::uint64_t weight = rng.below(5) + 1;
+    for (std::uint64_t i = 0; i < weight; ++i) unit.offer(key);
+    weighted.offer(key, weight);
+  }
+  EXPECT_EQ(unit.offered(), weighted.offered());
+  ASSERT_EQ(unit.size(), weighted.size());
+  const auto sorted = [](const SpaceSavingSketch& sketch) {
+    auto counters = sketch.counters();
+    std::sort(counters.begin(), counters.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    return counters;
+  };
+  const auto lhs = sorted(unit);
+  const auto rhs = sorted(weighted);
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].key, rhs[i].key);
+    EXPECT_EQ(lhs[i].count, rhs[i].count);
+    EXPECT_EQ(lhs[i].error, rhs[i].error);
+  }
+  weighted.offer(7, 0);  // zero weight is a no-op, not an insertion
+  EXPECT_EQ(weighted.offered(), unit.offered());
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSavingSketch sketch(2);
+  sketch.offer(1);
+  sketch.offer(2);
+  sketch.offer(3);
+  sketch.clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.offered(), 0u);
+  sketch.offer(9);
+  ASSERT_EQ(sketch.size(), 1u);
+  EXPECT_EQ(sketch.counters()[0].error, 0u);  // no stale takeover state
+}
+
+// --- HyperLogLog ------------------------------------------------------------
+
+TEST(Hll, ErrorWithinTheoreticalBoundOnSeededStreams) {
+  // 3 sigma of the standard error 1.04/sqrt(4096) ~= 4.9%; seeded streams
+  // make the assertion deterministic.
+  for (const std::size_t n :
+       {std::size_t{100}, std::size_t{1'000}, std::size_t{20'000},
+        std::size_t{200'000}}) {
+    HllSketch sketch;
+    for (std::size_t i = 0; i < n; ++i) {
+      sketch.add_hash(mix64(0x9e3779b97f4a7c15ULL + i));
+    }
+    const double estimate = sketch.estimate();
+    const double relative_error =
+        std::abs(estimate - static_cast<double>(n)) / static_cast<double>(n);
+    EXPECT_LE(relative_error, 3.0 * HllSketch::kStandardError) << "n=" << n;
+  }
+}
+
+TEST(Hll, DuplicatesDoNotInflate) {
+  HllSketch sketch;
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 1000; ++i) sketch.add_hash(mix64(i));
+  }
+  const double estimate = sketch.estimate();
+  EXPECT_LE(std::abs(estimate - 1000.0) / 1000.0,
+            3.0 * HllSketch::kStandardError);
+}
+
+TEST(Hll, MergeEqualsUnionStream) {
+  // Register-wise max is a CRDT: merging overlapping shards must equal
+  // one sketch over the union, bit for bit (same estimate).
+  HllSketch whole;
+  HllSketch parts[4];
+  for (std::uint64_t i = 0; i < 40'000; ++i) {
+    const std::uint64_t hash = mix64(i * 2654435761ULL);
+    whole.add_hash(hash);
+    parts[i % 4].add_hash(hash);
+    parts[(i + 1) % 4].add_hash(hash);  // overlap between shards
+  }
+  HllSketch merged;
+  EXPECT_TRUE(merged.empty());
+  for (const HllSketch& part : parts) merged.merge_from(part);
+  EXPECT_FALSE(merged.empty());
+  EXPECT_EQ(merged.estimate(), whole.estimate());
+}
+
+TEST(Hll, ClearEmpties) {
+  HllSketch sketch;
+  sketch.add_hash(mix64(42));
+  EXPECT_FALSE(sketch.empty());
+  sketch.clear();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.estimate(), 0.0);
+}
+
+// --- TrafficSketch / plane --------------------------------------------------
+
+/// Feeds one below-direction answer event into `sketch`.
+void feed(TrafficSketch& sketch, SimTime ts, std::uint64_t client,
+          const std::string& qname, RCode rcode = RCode::NoError,
+          TapDirection direction = TapDirection::kBelow) {
+  TapEvent event;
+  event.ts = ts;
+  event.direction = direction;
+  event.client_id = client;
+  event.rcode = rcode;
+  ASSERT_TRUE(event.question.name.assign(qname));
+  sketch.on_tap_batch(TapBatch({&event, 1}, {}));
+}
+
+TEST(TrafficPlane, CountsSharesAndHeavyHitters) {
+  TrafficSketchConfig config;
+  config.top_k = 4;
+  TrafficSketchPlane plane(config);
+  plane.set_disposable_zones({"noise.tracker.example"});
+  plane.ensure_shards(1);
+  TrafficSketch& shard = plane.shard(0);
+  for (int i = 0; i < 6; ++i) {
+    feed(shard, 10 + i, 1, "q" + std::to_string(i) + ".noise.tracker.example");
+  }
+  feed(shard, 20, 2, "www.stable.example");
+  feed(shard, 21, 2, "www.stable.example");
+  feed(shard, 22, 3, "missing.stable.example", RCode::NXDomain);
+  // Above-direction events are the cache-miss echo, never counted.
+  feed(shard, 23, 0, "www.stable.example", RCode::NoError,
+       TapDirection::kAbove);
+
+  const TrafficSnapshot snap = plane.snapshot();
+  EXPECT_EQ(snap.queries, 9u);
+  EXPECT_EQ(snap.disposable, 6u);  // matched at the zone, 2 labels deep
+  EXPECT_EQ(snap.nxdomain, 1u);
+  EXPECT_EQ(snap.new_names, 8u);  // www.stable.example repeated once
+  EXPECT_DOUBLE_EQ(snap.disposable_share(), 6.0 / 9.0);
+  EXPECT_DOUBLE_EQ(snap.nxdomain_share(), 1.0 / 9.0);
+  EXPECT_EQ(snap.classifier_zones, 1u);
+  ASSERT_FALSE(snap.top_slds.empty());
+  // SLD table folds every qX.noise.tracker.example into one registrable
+  // domain ("example" is not a public suffix -> SLD = tracker.example...
+  // actually nld_view(suffix+1)); the heavy hitter must dominate.
+  EXPECT_GE(snap.top_slds[0].count, 6u);
+  ASSERT_LE(snap.top_qnames.size(), 4u);  // top_k caps the export
+  EXPECT_EQ(snap.top_qnames[0].name, "www.stable.example");
+  EXPECT_EQ(snap.top_qnames[0].count, 2u);
+}
+
+TEST(TrafficPlane, ClassifierMatchesAnySuffixLevelAndClears) {
+  TrafficSketchPlane plane;
+  plane.set_disposable_zones({"deep.zone.example.com"});
+  plane.ensure_shards(1);
+  TrafficSketch& shard = plane.shard(0);
+  feed(shard, 1, 1, "a.b.deep.zone.example.com");  // below the zone: match
+  feed(shard, 2, 1, "deep.zone.example.com");      // the zone itself: match
+  feed(shard, 3, 1, "zone.example.com");           // above the zone: miss
+  feed(shard, 4, 1, "other.example.com");          // unrelated: miss
+  EXPECT_EQ(plane.snapshot().disposable, 2u);
+
+  plane.set_disposable_zones({});
+  EXPECT_EQ(plane.classifier_zone_count(), 0u);
+  feed(shard, 5, 1, "a.b.deep.zone.example.com");  // classifier now empty
+  EXPECT_EQ(plane.snapshot().disposable, 2u);
+}
+
+TEST(TrafficPlane, WindowRingEvictsOldIntervals) {
+  TrafficSketchConfig config;
+  config.window_slots = 4;
+  config.interval_seconds = 10;
+  TrafficSketchPlane plane(config);
+  plane.ensure_shards(1);
+  TrafficSketch& shard = plane.shard(0);
+  // 8 intervals of one query each; the ring keeps only the newest 4.
+  for (SimTime interval = 0; interval < 8; ++interval) {
+    feed(shard, interval * 10 + 5, 1, "w.example");
+  }
+  const TrafficSnapshot snap = plane.snapshot();
+  ASSERT_EQ(snap.window.size(), 4u);
+  EXPECT_EQ(snap.window.front().start_ts, 40);  // oldest surviving interval
+  EXPECT_EQ(snap.window.back().start_ts, 70);
+  for (const obs::TrafficInterval& interval : snap.window) {
+    EXPECT_EQ(interval.queries, 1u);
+  }
+  EXPECT_EQ(snap.queries, 8u);  // totals keep the full-day view
+}
+
+TEST(TrafficPlane, ShardMergeIsDeterministicAndSumsByText) {
+  // Two planes, three shards each, same per-shard streams: the merged
+  // export must be byte-identical, and a name split across shards must
+  // merge by summed count (never by table-scoped NameId).
+  const auto build = [] {
+    TrafficSketchConfig config;
+    config.top_k = 8;
+    auto plane = std::make_unique<TrafficSketchPlane>(config);
+    plane->set_disposable_zones({"hot.example"});
+    plane->ensure_shards(3);
+    for (std::size_t s = 0; s < 3; ++s) {
+      TrafficSketch& shard = plane->shard(s);
+      // Shared heavy hitter, interned at a different NameId per shard
+      // (distinct warm-up names force different intern orders).
+      feed(shard, 1, s, "warm" + std::to_string(s) + ".example");
+      for (int i = 0; i < 3; ++i) {
+        feed(shard, 2 + i, 100 + s, "x.hot.example");
+      }
+    }
+    return plane;
+  };
+  const auto a = build();
+  const auto b = build();
+  const std::string json = a->to_json();
+  EXPECT_EQ(json, b->to_json());
+  EXPECT_EQ(json, a->to_json());  // export itself is stable
+
+  const TrafficSnapshot snap = a->snapshot();
+  EXPECT_EQ(snap.queries, 12u);
+  EXPECT_EQ(snap.disposable, 9u);
+  ASSERT_FALSE(snap.top_qnames.empty());
+  EXPECT_EQ(snap.top_qnames[0].name, "x.hot.example");
+  EXPECT_EQ(snap.top_qnames[0].count, 9u);  // 3 shards x 3, summed by text
+  // Ties rank by name ascending for a total order.
+  ASSERT_GE(snap.top_qnames.size(), 4u);
+  EXPECT_EQ(snap.top_qnames[1].name, "warm0.example");
+  EXPECT_EQ(snap.top_qnames[2].name, "warm1.example");
+  EXPECT_EQ(snap.top_qnames[3].name, "warm2.example");
+}
+
+TEST(TrafficPlane, HookPathMatchesTapPathByteForByte) {
+  // The production feed (bind_sources + observe + flush_pending) and the
+  // generic tap feed must serve byte-identical exports for the same event
+  // stream — same intern order, same classifier verdicts, same window.
+  // The stream wraps the 256-entry ring several times.
+  TrafficSketchConfig config;
+  config.top_k = 8;
+  config.interval_seconds = 10;
+  Rng rng(21);
+  ZipfSampler zipf(40, 1.0);
+  std::vector<std::string> pool;
+  for (int i = 0; i < 40; ++i) {
+    pool.push_back(i % 3 == 0
+                       ? "n" + std::to_string(i) + ".avqs.example"
+                       : "host" + std::to_string(i) + ".stable.example");
+  }
+  struct Event {
+    SimTime ts;
+    std::uint64_t client;
+    std::size_t name;
+    RCode rcode;
+  };
+  std::vector<Event> stream;
+  for (int i = 0; i < 700; ++i) {
+    stream.push_back({static_cast<SimTime>(i / 3), rng.below(16) + 1,
+                      zipf.sample(rng),
+                      i % 7 == 0 ? RCode::NXDomain : RCode::NoError});
+  }
+
+  TrafficSketchPlane tap_plane(config);
+  tap_plane.set_disposable_zones({"avqs.example"});
+  tap_plane.ensure_shards(1);
+  for (const Event& event : stream) {
+    feed(tap_plane.shard(0), event.ts, event.client, pool[event.name],
+         event.rcode);
+  }
+
+  TrafficSketchPlane hook_plane(config);
+  hook_plane.set_disposable_zones({"avqs.example"});
+  hook_plane.ensure_shards(1);
+  TrafficSketch& hook_shard = hook_plane.shard(0);
+  NameTable source;
+  std::vector<NameId> ids;
+  for (const std::string& name : pool) ids.push_back(source.intern(name));
+  hook_shard.bind_sources({&source});
+  for (const Event& event : stream) {
+    hook_shard.observe(0, ids[event.name], event.client, event.rcode,
+                       event.ts);
+  }
+  hook_shard.flush_pending();
+
+  EXPECT_EQ(tap_plane.to_json(), hook_plane.to_json());
+}
+
+TEST(TrafficPlane, RebindResolvesIdsThroughTheNewTables) {
+  // NameIds are table-scoped: after rebinding (a fresh cluster's caches,
+  // next simulated day) the same raw id must resolve through the *new*
+  // table, never a stale cached translation.
+  TrafficSketchPlane plane;
+  plane.ensure_shards(1);
+  TrafficSketch& shard = plane.shard(0);
+  NameTable first_table;
+  const NameId first = first_table.intern("first-day.example");
+  shard.bind_sources({&first_table});
+  shard.observe(0, first, 1, RCode::NoError, 1);
+  shard.flush_pending();
+
+  NameTable second_table;
+  const NameId second = second_table.intern("second-day.example");
+  ASSERT_EQ(first, second);  // same raw id, different meaning
+  shard.bind_sources({&second_table});
+  shard.observe(0, second, 2, RCode::NoError, 2);
+  shard.flush_pending();
+
+  const TrafficSnapshot snap = plane.snapshot();
+  EXPECT_EQ(snap.queries, 2u);
+  std::vector<std::string> names;
+  for (const TrafficHeavyHitter& hitter : snap.top_qnames) {
+    names.push_back(hitter.name);
+    EXPECT_EQ(hitter.count, 1u);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"first-day.example",
+                                             "second-day.example"}));
+}
+
+TEST(TrafficPlane, ScrapesNeverPerturbLaterExports) {
+  // collect_into overlays pending deltas onto a *copy* of the
+  // Space-Saving state, so writer-side state stays a pure function of
+  // the event stream: a run scraped mid-stream must end with the same
+  // export as an unscraped run, and consecutive quiesced scrapes must be
+  // byte-identical.
+  const auto run = [](bool scrape_midway) {
+    TrafficSketchConfig config;
+    config.counters = 8;  // small: constant Space-Saving churn
+    auto plane = std::make_unique<TrafficSketchPlane>(config);
+    plane->ensure_shards(1);
+    TrafficSketch& shard = plane->shard(0);
+    NameTable source;
+    std::vector<NameId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(source.intern("n" + std::to_string(i) + ".example"));
+    }
+    shard.bind_sources({&source});
+    Rng rng(33);
+    for (int i = 0; i < 1'000; ++i) {
+      shard.observe(0, ids[rng.below(rng.below(63) + 1)], 1, RCode::NoError,
+                    static_cast<SimTime>(i));
+      if (scrape_midway && i % 250 == 249) plane->to_json();
+    }
+    shard.flush_pending();
+    return plane->to_json();
+  };
+  const std::string undisturbed = run(false);
+  EXPECT_EQ(undisturbed, run(true));
+}
+
+TEST(TrafficPlane, EmptyPlaneExportsZeroSharesNotNull) {
+  TrafficSketchPlane plane;
+  const TrafficSnapshot snap = plane.snapshot();
+  EXPECT_EQ(snap.queries, 0u);
+  EXPECT_DOUBLE_EQ(snap.disposable_share(), 0.0);
+  const std::string json = plane.to_json();
+  EXPECT_NE(json.find("\"schema\": \"dnsnoise-traffic-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"disposable_share\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("null"), std::string::npos);
+  EXPECT_NE(json.find("\"top_slds\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"window\": []"), std::string::npos);
+}
+
+TEST(TrafficPlane, PublishGaugesLandsInRegistry) {
+  obs::MetricsRegistry registry;
+  TrafficSketchPlane plane;
+  plane.set_disposable_zones({"hot.example"});
+  plane.ensure_shards(1);
+  feed(plane.shard(0), 1, 1, "a.hot.example");
+  feed(plane.shard(0), 2, 2, "b.cold.example", RCode::NXDomain);
+  plane.publish_gauges(registry);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const obs::MetricSample* queries = snap.find("traffic.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value, 2.0);
+  const obs::MetricSample* share = snap.find("traffic.disposable_share");
+  ASSERT_NE(share, nullptr);
+  EXPECT_DOUBLE_EQ(share->value, 0.5);
+  EXPECT_NE(snap.find("traffic.nxdomain_share"), nullptr);
+  EXPECT_NE(snap.find("traffic.distinct_qnames"), nullptr);
+  EXPECT_NE(snap.find("traffic.distinct_clients"), nullptr);
+  EXPECT_NE(snap.find("traffic.classifier_zones"), nullptr);
+}
+
+}  // namespace
+}  // namespace dnsnoise

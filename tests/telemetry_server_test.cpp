@@ -223,8 +223,11 @@ TEST(TelemetryServer, SlowlogServes404UntilSourceIsSetAndAfterClear) {
   const std::string before = http_get(server.port(), "/slowlog");
   EXPECT_NE(before.find("404"), std::string::npos);
 
-  server.set_slowlog_source(
-      []() { return std::string("{\"schema\": \"dnsnoise-slowlog-v1\"}\n"); });
+  server.set_slowlog_source(obs::SlowlogSource{
+      [](std::size_t) {
+        return std::string("{\"schema\": \"dnsnoise-slowlog-v1\"}\n");
+      },
+      {}});
   const std::string body = http_get(server.port(), "/slowlog");
   EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(body.find("dnsnoise-slowlog-v1"), std::string::npos);
@@ -234,6 +237,137 @@ TEST(TelemetryServer, SlowlogServes404UntilSourceIsSetAndAfterClear) {
   server.set_slowlog_source({});
   const std::string after = http_get(server.port(), "/slowlog");
   EXPECT_NE(after.find("404"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, SlowlogQueryParamsCapEntriesAnd400OnMalformed) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry);
+  // Render echoes the cap it received, so routing of ?n=N is observable.
+  std::size_t seen_max = 1234;
+  std::size_t clears = 0;
+  server.set_slowlog_source(obs::SlowlogSource{
+      [&seen_max](std::size_t max_entries) {
+        seen_max = max_entries;
+        return std::string("{\"schema\": \"dnsnoise-slowlog-v1\"}\n");
+      },
+      [&clears]() { ++clears; }});
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/slowlog";
+  EXPECT_EQ(server.handle(request).status, 200);
+  EXPECT_EQ(seen_max, 0u);  // no cap
+
+  request.target = "/slowlog?n=3";
+  EXPECT_EQ(server.handle(request).status, 200);
+  EXPECT_EQ(seen_max, 3u);
+
+  // Well-formed but unrecognized keys are ignored (scraper noise).
+  request.target = "/slowlog?format=json&n=7";
+  EXPECT_EQ(server.handle(request).status, 200);
+  EXPECT_EQ(seen_max, 7u);
+
+  // Malformed query strings are 400, never silently ignored.
+  for (const char* target :
+       {"/slowlog?n", "/slowlog?=5", "/slowlog?n=abc", "/slowlog?n=-1",
+        "/slowlog?n=1&bogus"}) {
+    request.target = target;
+    const net::HttpResponse response = server.handle(request);
+    EXPECT_EQ(response.status, 400) << target;
+    EXPECT_NE(response.body.find("\"error\""), std::string::npos) << target;
+  }
+
+  // POST /slowlog/clear invokes the clear hook exactly once.
+  request.method = "POST";
+  request.target = "/slowlog/clear";
+  net::HttpResponse response = server.handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"cleared\": true"), std::string::npos);
+  EXPECT_EQ(clears, 1u);
+
+  // Wrong method on the clear endpoint: 405 with the allowed verb.
+  request.method = "GET";
+  response = server.handle(request);
+  EXPECT_EQ(response.status, 405);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Allow");
+  EXPECT_EQ(response.headers[0].second, "POST");
+
+  // POST against a read-only endpoint: 405 advertising GET, HEAD.
+  request.method = "POST";
+  request.target = "/metrics";
+  response = server.handle(request);
+  EXPECT_EQ(response.status, 405);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].second, "GET, HEAD");
+
+  // Detached source: the clear endpoint answers 404, not a crash.
+  server.set_slowlog_source({});
+  request.target = "/slowlog/clear";
+  EXPECT_EQ(server.handle(request).status, 404);
+  EXPECT_EQ(clears, 1u);
+}
+
+TEST(TelemetryServer, TrafficServes404UntilSourceIsSet) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::string before = http_get(server.port(), "/traffic");
+  EXPECT_NE(before.find("404"), std::string::npos);
+
+  server.set_traffic_source(
+      []() { return std::string("{\"schema\": \"dnsnoise-traffic-v1\"}\n"); });
+  const std::string body = http_get(server.port(), "/traffic");
+  EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("dnsnoise-traffic-v1"), std::string::npos);
+  const std::string index = http_get(server.port(), "/");
+  EXPECT_NE(index.find("/traffic"), std::string::npos);
+
+  server.set_traffic_source({});
+  const std::string after = http_get(server.port(), "/traffic");
+  EXPECT_NE(after.find("404"), std::string::npos);
+  server.stop();
+}
+
+TEST(TelemetryServer, MetricsRefreshHookRunsBeforeEverySnapshot) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry);
+  server.set_metrics_refresh(
+      [&registry]() { registry.gauge("traffic.refreshed").add(1.0); });
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/metrics";
+  const net::HttpResponse first = server.handle(request);
+  EXPECT_NE(first.body.find("dnsnoise_traffic_refreshed 1\n"),
+            std::string::npos);
+  const net::HttpResponse second = server.handle(request);
+  EXPECT_NE(second.body.find("dnsnoise_traffic_refreshed 2\n"),
+            std::string::npos);
+  // Other endpoints never trigger the refresh.
+  request.target = "/healthz";
+  (void)server.handle(request);
+  request.target = "/metrics";
+  EXPECT_NE(server.handle(request).body.find("dnsnoise_traffic_refreshed 3\n"),
+            std::string::npos);
+  server.set_metrics_refresh({});
+  EXPECT_NE(server.handle(request).body.find("dnsnoise_traffic_refreshed 3\n"),
+            std::string::npos);
+}
+
+TEST(HttpListener, UnknownMethodGets405WithAllowHeader) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // The listener answers unknown methods itself — a proper 405 with
+  // Allow, instead of the old close-without-reply.
+  const std::string response = http_get(server.port(), "/metrics", "DELETE");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos);
+  EXPECT_NE(response.find("Allow: GET, HEAD, POST"), std::string::npos);
   server.stop();
 }
 

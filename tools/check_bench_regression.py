@@ -37,6 +37,10 @@ crawl should fail even against a generous baseline; the floor is the
 backstop.  A floor naming a gauge the current run did not produce is
 exit 2 — the bench stopped emitting the gauge, not a pass.
 
+Every failure message names the baseline file path, not just the gauge:
+when a legitimate performance change moves a number, the remedy is
+re-recording exactly that file, and the CI log should say which one.
+
 Exit codes: 0 ok/skipped, 1 regression found, 2 missing/malformed input.
 """
 
@@ -180,7 +184,8 @@ def main():
         if value < floor:
             status = "REGRESSION"
             regressions.append(
-                f"{name} ({value:,.0f} below absolute floor {floor:,.0f})")
+                f"{name} ({value:,.0f} below absolute floor {floor:,.0f}; "
+                f"baseline file: {args.baseline})")
         print(f"{status:>10}  {name}: {value:,.0f} (floor {floor:,.0f})")
     for name in sorted(baseline):
         if name not in current:
@@ -196,7 +201,8 @@ def main():
             status = "REGRESSION"
             regressions.append(
                 f"{name} ({before:,.0f} -> {after:,.0f}, {change:+.1%}, "
-                f"limit -{args.threshold:.0%})")
+                f"limit -{args.threshold:.0%}; "
+                f"baseline file: {args.baseline})")
         print(f"{status:>10}  {name}: {before:,.0f} -> {after:,.0f} "
               f"({change:+.1%})")
     # Lower-is-better gauges: an alloc crept back into a zero-alloc path.
@@ -211,7 +217,7 @@ def main():
             status = "REGRESSION"
             regressions.append(
                 f"{name} ({before:.3f} -> {after:.3f} allocs/query, "
-                f"limit {limit:.3f})")
+                f"limit {limit:.3f}; baseline file: {args.baseline})")
         print(f"{status:>10}  {name}: {before:.3f} -> {after:.3f} "
               f"allocs/query (limit {limit:.3f})")
     # Lower-is-better gauges: latency percentiles must not balloon.
@@ -226,7 +232,7 @@ def main():
             status = "REGRESSION"
             regressions.append(
                 f"{name} ({before:.6f}s -> {after:.6f}s, "
-                f"limit {limit:.6f}s)")
+                f"limit {limit:.6f}s; baseline file: {args.baseline})")
         print(f"{status:>10}  {name}: {before:.6f}s -> {after:.6f}s "
               f"(limit {limit:.6f}s)")
     for name in sorted((set(current) - set(baseline)) |
@@ -235,7 +241,11 @@ def main():
         print(f"note: {name} is new (no baseline; not gating)")
 
     if regressions:
-        print(f"\n{len(regressions)} gauge(s) regressed:")
+        # Name the baseline file in the failure summary too: the fix for a
+        # legitimate speedup/slowdown is editing exactly that file, and CI
+        # logs are where people go looking for which one.
+        print(f"\n{len(regressions)} gauge(s) regressed "
+              f"(baseline: {args.baseline}):")
         for detail in regressions:
             print(f"  {detail}")
         return 1

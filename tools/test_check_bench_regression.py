@@ -278,6 +278,32 @@ class CheckBenchRegressionTest(unittest.TestCase):
             code, out = self.run_gate(current, baseline, "--floor", spec)
             self.assertEqual(code, 2, (spec, out))
 
+    def test_failure_messages_name_the_baseline_file(self):
+        # Every regression detail must cite the baseline file path so the
+        # CI log says which file to re-record after a legitimate change.
+        current = self.path(
+            "current.json",
+            snapshot({"a.events_per_sec": 100.0,
+                      "a.allocs_per_query": 5.0,
+                      "loadgen.open.p99_latency_seconds": 0.900}))
+        baseline = self.path(
+            "slow-baseline.json",
+            snapshot({"a.events_per_sec": 1000.0,
+                      "a.allocs_per_query": 0.0,
+                      "loadgen.open.p99_latency_seconds": 0.100}))
+        code, out = self.run_gate(current, baseline,
+                                  "--floor", "a.events_per_sec=500")
+        self.assertEqual(code, 1, out)
+        summary = out[out.index("gauge(s) regressed"):]
+        self.assertIn(baseline, summary)
+        # All four regression kinds fired, and each detail line names the
+        # baseline file, not just the gauge.
+        details = [line for line in summary.splitlines()
+                   if line.startswith("  ")]
+        self.assertEqual(len(details), 4, out)
+        for detail in details:
+            self.assertIn(baseline, detail, detail)
+
     def test_null_gauges_are_ignored(self):
         # A NaN gauge serializes as JSON null; the gate must not crash
         # and must not gate on it.
